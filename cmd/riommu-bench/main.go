@@ -1,0 +1,114 @@
+// Command riommu-bench regenerates the paper's tables and figures from the
+// simulated systems.
+//
+// Usage:
+//
+//	riommu-bench [-quality quick|full] [-list] [-exp id[,id...]]
+//
+// With no -exp, every registered experiment runs in order. Output is the
+// paper-style rendering of each table/figure, with the paper's own numbers
+// alongside where the experiment embeds them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"riommu/internal/experiments"
+)
+
+func main() {
+	var (
+		quality  = flag.String("quality", "quick", "run length: quick or full")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		exp      = flag.String("exp", "", "comma-separated experiment ids (default: all)")
+		parallel = flag.Bool("parallel", false, "run experiments concurrently (each owns its simulator)")
+		csvDir   = flag.String("csv", "", "also export Figure 7/8/12 data series as CSV into this directory")
+	)
+	flag.Parse()
+
+	q := experiments.Quick
+	switch *quality {
+	case "quick":
+	case "full":
+		q = experiments.Full
+	default:
+		fmt.Fprintf(os.Stderr, "riommu-bench: unknown quality %q (want quick or full)\n", *quality)
+		os.Exit(2)
+	}
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-12s %s\n%-12s paper: %s\n", e.ID, e.Title, "", e.Paper)
+		}
+		return
+	}
+
+	if *csvDir != "" {
+		if err := experiments.ExportCSV(*csvDir, q); err != nil {
+			fmt.Fprintln(os.Stderr, "riommu-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote figure7.csv, figure8.csv, figure12_{mlx,brcm}.csv to %s\n", *csvDir)
+		if *exp == "" {
+			return
+		}
+	}
+
+	var selected []experiments.Experiment
+	if *exp == "" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			e, err := experiments.Lookup(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "riommu-bench:", err)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	type result struct {
+		out     string
+		err     error
+		elapsed time.Duration
+	}
+	results := make([]result, len(selected))
+	if *parallel {
+		// Each experiment builds its own simulated systems, so they are
+		// fully independent and safe to run concurrently.
+		var wg sync.WaitGroup
+		for i, e := range selected {
+			wg.Add(1)
+			go func(i int, e experiments.Experiment) {
+				defer wg.Done()
+				start := time.Now()
+				out, err := e.Run(q)
+				results[i] = result{out: out, err: err, elapsed: time.Since(start)}
+			}(i, e)
+		}
+		wg.Wait()
+	} else {
+		for i, e := range selected {
+			start := time.Now()
+			out, err := e.Run(q)
+			results[i] = result{out: out, err: err, elapsed: time.Since(start)}
+		}
+	}
+
+	for i, e := range selected {
+		r := results[i]
+		if r.err != nil {
+			fmt.Fprintf(os.Stderr, "riommu-bench: %s: %v\n", e.ID, r.err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s — %s (%.1fs)\n", e.ID, e.Title, r.elapsed.Seconds())
+		fmt.Printf("    paper: %s\n\n", e.Paper)
+		fmt.Println(r.out)
+	}
+}

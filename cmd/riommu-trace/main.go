@@ -1,0 +1,134 @@
+// Command riommu-trace records DMA traces from a simulated networking run
+// and evaluates the §5.4 TLB prefetchers over them.
+//
+// Usage:
+//
+//	riommu-trace record [-o trace.bin] [-format binary|json] [-messages N]
+//	riommu-trace eval   [-i trace.bin] [-format binary|json] [-history N] [-baseline]
+//	riommu-trace synth  [-o trace.bin] [-ring N] [-laps N] [-rings N] [-churn PCT]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"riommu/internal/device"
+	"riommu/internal/experiments"
+	"riommu/internal/pci"
+	"riommu/internal/prefetch"
+	"riommu/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "record":
+		record(os.Args[2:])
+	case "eval":
+		eval(os.Args[2:])
+	case "synth":
+		synth(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: riommu-trace record|eval|synth [flags]")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "riommu-trace:", err)
+	os.Exit(1)
+}
+
+func writeTrace(tr *trace.Trace, path, format string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if format == "json" {
+		err = tr.WriteJSON(f)
+	} else {
+		err = tr.WriteBinary(f)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d events to %s (%s)\n", tr.Len(), path, format)
+}
+
+func readTrace(path, format string) *trace.Trace {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	var tr *trace.Trace
+	if format == "json" {
+		tr, err = trace.ReadJSON(f)
+	} else {
+		tr, err = trace.ReadBinary(f)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	return tr
+}
+
+func record(args []string) {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	out := fs.String("o", "trace.bin", "output file")
+	format := fs.String("format", "binary", "binary or json")
+	messages := fs.Int("messages", 50, "16KB messages to stream")
+	_ = fs.Parse(args)
+
+	profile := device.ProfileBRCM
+	profile.BufferBytes = 4096
+	q := experiments.Quick
+	if *messages > 60 {
+		q = experiments.Full
+	}
+	tr, err := experiments.CollectTrace(q, profile)
+	if err != nil {
+		fatal(err)
+	}
+	writeTrace(tr, *out, *format)
+}
+
+func synth(args []string) {
+	fs := flag.NewFlagSet("synth", flag.ExitOnError)
+	out := fs.String("o", "trace.bin", "output file")
+	format := fs.String("format", "binary", "binary or json")
+	ringPages := fs.Int("ring", 512, "pages per ring")
+	laps := fs.Int("laps", 6, "times each ring cycles")
+	rings := fs.Int("rings", 2, "interleaved rings")
+	churn := fs.Int("churn", 10, "percent of refills that get a fresh page")
+	_ = fs.Parse(args)
+
+	tr := prefetch.SyntheticRingTrace(pci.NewBDF(0, 3, 0), *ringPages, *laps, *rings, *churn)
+	writeTrace(tr, *out, *format)
+}
+
+func eval(args []string) {
+	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	in := fs.String("i", "trace.bin", "input file")
+	format := fs.String("format", "binary", "binary or json")
+	history := fs.Int("history", 4096, "prediction-structure size")
+	baseline := fs.Bool("baseline", false, "use the prefetchers' original (history-purging) form")
+	_ = fs.Parse(args)
+
+	tr := readTrace(*in, *format)
+	cfg := prefetch.Config{TLBEntries: 64, History: *history, RetainInvalidated: !*baseline}
+	fmt.Printf("%d events, history=%d, baseline=%v\n", tr.Len(), *history, *baseline)
+	for _, p := range prefetch.NewAll(cfg) {
+		s := prefetch.Evaluate(p, tr)
+		fmt.Printf("%-9s hit rate %.3f  (%d accesses, %d prefetches, %d suppressed)\n",
+			p.Name(), s.HitRate(), s.Accesses, s.Prefetches, s.Suppressed)
+	}
+}

@@ -1,0 +1,24 @@
+// Package riommu is a full reproduction of "rIOMMU: Efficient IOMMU for I/O
+// Devices that Employ Ring Buffers" (Malka, Amit, Ben-Yehuda, Tsafrir —
+// ASPLOS 2015) as a Go library.
+//
+// The paper proposes replacing the IOMMU's hierarchical page tables with
+// per-ring flat tables for high-bandwidth devices (NICs, PCIe SSDs) that
+// interact with the OS through circular rings: IOVAs become flat-table
+// indices (allocation is two integer increments), the rIOTLB holds one
+// entry per ring (every translation implicitly invalidates the previous
+// one), and explicit invalidations happen only at the end of unmap bursts.
+//
+// This module implements the complete system: the rIOMMU (internal/core),
+// the baseline Intel VT-d-style IOMMU with its four Linux protection modes
+// (internal/baseline, internal/iommu, internal/pagetable, internal/iova,
+// internal/iotlb), ring-based device models and drivers (internal/ring,
+// internal/device, internal/driver, internal/dma), the paper's benchmarks
+// (internal/workload) over a deterministic cycle-accounting simulator
+// (internal/cycles, internal/sim), and an experiment harness that
+// regenerates every table and figure of the evaluation
+// (internal/experiments; cmd/riommu-bench).
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// methodology, and EXPERIMENTS.md for paper-versus-measured results.
+package riommu

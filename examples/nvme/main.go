@@ -1,0 +1,120 @@
+// NVMe: PCIe SSDs are the paper's second target class (§4) — NVM Express
+// queues impose the same strict in-order (un)mapping discipline as NIC
+// rings. This example builds an NVMe device whose submission/completion
+// queues and data buffers are all protected by the rIOMMU, writes and reads
+// back blocks, and shows the per-command map/unmap flow.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"riommu/internal/core"
+	"riommu/internal/cycles"
+	"riommu/internal/device"
+	"riommu/internal/dma"
+	"riommu/internal/mem"
+	"riommu/internal/pci"
+)
+
+func main() {
+	mm := mem.MustNew(4096 * mem.PageSize)
+	clk := &cycles.Clock{}
+	model := cycles.DefaultModel()
+	hw := core.New(clk, &model, mm)
+	bdf := pci.NewBDF(0, 4, 0)
+
+	// Flat tables: ring 0 for the queue memory (persistent), ring 1 for the
+	// per-command data buffers (single-use).
+	drv, err := core.NewDriver(clk, &model, mm, hw, bdf, []uint32{8, 1024}, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng := dma.NewEngine(mm, hw)
+	ssd := device.NewNVMe(bdf, eng, 4096, 1024) // 4 MiB namespace
+
+	// Allocate the queue pair and map it persistently for the device.
+	q, err := device.NewNVMeQueuePair(mm, 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sqIOVA, err := drv.Map(0, q.SQPA(), q.SQBytes(), pci.DirBidi)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cqIOVA, err := drv.Map(0, q.CQPA(), q.CQBytes(), pci.DirBidi)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q.SetDeviceAddrs(sqIOVA, cqIOVA)
+	fmt.Printf("queues mapped: SQ at %s, CQ at %s\n", core.IOVA(sqIOVA), core.IOVA(cqIOVA))
+
+	// Write 8 blocks, each through a freshly mapped single-use buffer.
+	var dataIOVAs []uint64
+	for blk := uint64(0); blk < 8; blk++ {
+		f, err := mm.AllocFrame()
+		if err != nil {
+			log.Fatal(err)
+		}
+		payload := bytes.Repeat([]byte{byte('A' + blk)}, 4096)
+		if err := mm.Write(f.PA(), payload); err != nil {
+			log.Fatal(err)
+		}
+		iova, err := drv.Map(1, f.PA(), 4096, pci.DirToDevice)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dataIOVAs = append(dataIOVAs, iova)
+		if _, err := q.Submit(iova, blk, 4096, device.NVMeOpWrite); err != nil {
+			log.Fatal(err)
+		}
+	}
+	n, err := ssd.ProcessSQ(q, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("device consumed %d write commands strictly in order\n", n)
+
+	// Completions arrive in submission order; unmap the burst with one
+	// rIOTLB invalidation on the last buffer.
+	for i, iova := range dataIOVAs {
+		c, ok, err := q.ReapCompletion(uint32(i))
+		if err != nil || !ok || c.Status != device.NVMeStatusOK {
+			log.Fatalf("completion %d: %+v ok=%v err=%v", i, c, ok, err)
+		}
+		if err := drv.Unmap(1, iova, 0, i == len(dataIOVAs)-1); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("burst of %d unmaps -> %d rIOTLB invalidation(s)\n",
+		len(dataIOVAs), hw.Stats().Invalidations)
+
+	// Read block 3 back through a read-mapped buffer.
+	f, err := mm.AllocFrame()
+	if err != nil {
+		log.Fatal(err)
+	}
+	iova, err := drv.Map(1, f.PA(), 4096, pci.DirFromDevice)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := q.Submit(iova, 3, 4096, device.NVMeOpRead); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := ssd.ProcessSQ(q, 1); err != nil {
+		log.Fatal(err)
+	}
+	got, err := mm.Read(f.PA(), 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("block 3 reads back as %q...\n", got)
+	if err := drv.Unmap(1, iova, 0, true); err != nil {
+		log.Fatal(err)
+	}
+
+	st := hw.Stats()
+	fmt.Printf("\nstats: %d translations, %d prefetch hits (sequential queue discipline), %d faults\n",
+		st.Translations, st.PrefetchHits, st.Faults)
+}

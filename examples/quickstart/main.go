@@ -1,0 +1,83 @@
+// Quickstart: create an rIOMMU, attach a ring-based device, map a buffer at
+// byte granularity, translate DMAs through the flat table, and watch the
+// protection react — the minimal tour of the library's core API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"riommu/internal/core"
+	"riommu/internal/cycles"
+	"riommu/internal/mem"
+	"riommu/internal/pci"
+)
+
+func main() {
+	// A simulated machine: physical memory, a virtual CPU clock, the cost
+	// model calibrated to the paper's measurements.
+	mm := mem.MustNew(1024 * mem.PageSize)
+	clk := &cycles.Clock{}
+	model := cycles.DefaultModel()
+
+	// The rIOMMU hardware and the OS driver for one device with a single
+	// 256-entry flat table (ring 0).
+	hw := core.New(clk, &model, mm)
+	dev := pci.NewBDF(0, 3, 0)
+	drv, err := core.NewDriver(clk, &model, mm, hw, dev, []uint32{256}, true /* coherent walks */)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A 1500-byte packet buffer at an arbitrary (unaligned!) address:
+	// rIOMMU protection is byte-granular, not page-granular.
+	frame, err := mm.AllocFrame()
+	if err != nil {
+		log.Fatal(err)
+	}
+	bufPA := frame.PA() + 100
+
+	iova, err := drv.Map(0, bufPA, 1500, pci.DirFromDevice)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mapped  pa=%#x size=1500 -> %s\n", uint64(bufPA), core.IOVA(iova))
+
+	// The device translates the rIOVA through the flat table.
+	pa, err := hw.Rtranslate(dev, core.IOVA(iova), pci.DirFromDevice)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("device translated offset 0    -> pa=%#x\n", uint64(pa))
+
+	pa, err = hw.Rtranslate(dev, core.IOVA(iova).Add(1000), pci.DirFromDevice)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("device translated offset 1000 -> pa=%#x\n", uint64(pa))
+
+	// Past the buffer's 1500 bytes: I/O page fault, even though the rest of
+	// the page is valid memory. This is the fine-grained protection the
+	// baseline IOMMU cannot provide (§4).
+	if _, err := hw.Rtranslate(dev, core.IOVA(iova).Add(1500), pci.DirFromDevice); err != nil {
+		fmt.Printf("offset 1500 faults as it should: %v\n", err)
+	}
+
+	// Wrong direction: the mapping allows device writes only.
+	if _, err := hw.Rtranslate(dev, core.IOVA(iova), pci.DirToDevice); err != nil {
+		fmt.Printf("device read faults as it should: %v\n", err)
+	}
+
+	// Unmap and close the burst: one rIOTLB invalidation, then the IOVA is
+	// dead.
+	if err := drv.Unmap(0, iova, 0, true /* end of burst */); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := hw.Rtranslate(dev, core.IOVA(iova), pci.DirFromDevice); err != nil {
+		fmt.Printf("after unmap the IOVA is dead: %v\n", err)
+	}
+
+	st := hw.Stats()
+	fmt.Printf("\nstats: %d translations, %d faults, %d invalidations, CPU spent %d cycles on (un)mapping\n",
+		st.Translations, st.Faults, st.Invalidations, clk.Now())
+}

@@ -1,0 +1,3 @@
+module riommu
+
+go 1.22

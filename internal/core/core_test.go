@@ -1,0 +1,570 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"riommu/internal/cycles"
+	"riommu/internal/mem"
+	"riommu/internal/pci"
+)
+
+var dev = pci.NewBDF(0, 3, 0)
+
+func setup(t *testing.T, coherent bool, ringSizes ...uint32) (*Driver, *RIOMMU, *mem.PhysMem, *cycles.Clock) {
+	t.Helper()
+	if len(ringSizes) == 0 {
+		ringSizes = []uint32{256}
+	}
+	mm := mem.MustNew(2048 * mem.PageSize)
+	clk := &cycles.Clock{}
+	model := cycles.DefaultModel()
+	hw := New(clk, &model, mm)
+	d, err := NewDriver(clk, &model, mm, hw, dev, ringSizes, coherent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, hw, mm, clk
+}
+
+func buffer(t *testing.T, mm *mem.PhysMem) mem.PA {
+	t.Helper()
+	f, err := mm.AllocFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f.PA()
+}
+
+func TestIOVAPackRoundTrip(t *testing.T) {
+	prop := func(off uint32, rentry uint32, rid uint16) bool {
+		off &= MaxOffset - 1
+		rentry &= MaxRingSize - 1
+		v := PackIOVA(off, rentry, rid)
+		return v.Offset() == off && v.REntry() == rentry && v.RID() == rid
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIOVAAdd(t *testing.T) {
+	v := PackIOVA(100, 7, 3)
+	w := v.Add(50)
+	if w.Offset() != 150 || w.REntry() != 7 || w.RID() != 3 {
+		t.Errorf("Add: %v", w)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Add overflow did not panic")
+		}
+	}()
+	PackIOVA(MaxOffset-1, 0, 0).Add(1)
+}
+
+func TestIOVAString(t *testing.T) {
+	s := PackIOVA(0x10, 2, 1).String()
+	if s != "rIOVA{rid=1 rentry=2 off=0x10}" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestMapTranslateUnmap(t *testing.T) {
+	d, hw, mm, _ := setup(t, true)
+	pa := buffer(t, mm) + 100 // fine-grained: arbitrary alignment
+
+	iovaAddr, err := d.Map(0, pa, 1500, pci.DirFromDevice)
+	if err != nil {
+		t.Fatalf("Map: %v", err)
+	}
+	iova := IOVA(iovaAddr)
+	if iova.Offset() != 0 || iova.RID() != 0 {
+		t.Errorf("map returned %v, want offset 0 rid 0", iova)
+	}
+	got, err := hw.Rtranslate(dev, iova, pci.DirFromDevice)
+	if err != nil {
+		t.Fatalf("Rtranslate: %v", err)
+	}
+	if got != pa {
+		t.Errorf("translate = %#x, want %#x", got, pa)
+	}
+	// Offset arithmetic within the buffer.
+	got, err = hw.Rtranslate(dev, iova.Add(1000), pci.DirFromDevice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != pa+1000 {
+		t.Errorf("offset translate = %#x, want %#x", got, pa+1000)
+	}
+
+	if err := d.Unmap(0, iovaAddr, 0, true); err != nil {
+		t.Fatalf("Unmap: %v", err)
+	}
+	if _, err := hw.Rtranslate(dev, iova, pci.DirFromDevice); err == nil {
+		t.Fatal("translation after unmap+invalidate must fault")
+	}
+	if d.Device().Ring(0).Mapped() != 0 {
+		t.Error("nmapped not back to 0")
+	}
+}
+
+func TestFineGrainedProtection(t *testing.T) {
+	// Two buffers on the same physical page: unmapping one must not leave
+	// the other's page accessible beyond its own bounds, and an access past
+	// a buffer's size must fault — the vulnerability rIOMMU eliminates (§4).
+	d, hw, mm, _ := setup(t, true)
+	page := buffer(t, mm)
+	bufA := page        // bytes [0, 512)
+	bufB := page + 2048 // bytes [2048, 2560)
+
+	va, err := d.Map(0, bufA, 512, pci.DirFromDevice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vb, err := d.Map(0, bufB, 512, pci.DirFromDevice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Access past bufA's 512-byte bound faults even though the page is
+	// partially mapped through bufB.
+	if _, err := hw.Rtranslate(dev, IOVA(va).Add(512), pci.DirFromDevice); err == nil {
+		t.Error("access past buffer size must fault (fine-grained protection)")
+	}
+	// Unmap bufA; bufB remains reachable, bufA does not.
+	if err := d.Unmap(0, va, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hw.Rtranslate(dev, IOVA(vb), pci.DirFromDevice); err != nil {
+		t.Errorf("bufB unreachable after unmapping bufA: %v", err)
+	}
+	if _, err := hw.Rtranslate(dev, IOVA(va), pci.DirFromDevice); err != nil {
+		// va's rentry was invalidated; the fresh walk faults. Good.
+	} else {
+		t.Error("bufA reachable after unmap")
+	}
+	if err := d.Unmap(0, vb, 0, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirectionEnforced(t *testing.T) {
+	d, hw, mm, _ := setup(t, true)
+	pa := buffer(t, mm)
+	va, err := d.Map(0, pa, 256, pci.DirToDevice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hw.Rtranslate(dev, IOVA(va), pci.DirFromDevice); err == nil {
+		t.Error("device write through a to-device mapping must fault")
+	}
+	var iopf *IOPF
+	_, err = hw.Rtranslate(dev, IOVA(va), pci.DirFromDevice)
+	if !errors.As(err, &iopf) {
+		t.Errorf("fault type = %T", err)
+	} else if iopf.Error() == "" {
+		t.Error("empty IOPF message")
+	}
+	if err := d.Unmap(0, va, 0, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRingOverflow(t *testing.T) {
+	d, _, mm, _ := setup(t, true, 4)
+	pa := buffer(t, mm)
+	var vs []uint64
+	for i := 0; i < 4; i++ {
+		v, err := d.Map(0, pa, 64, pci.DirBidi)
+		if err != nil {
+			t.Fatalf("map %d: %v", i, err)
+		}
+		vs = append(vs, v)
+	}
+	if _, err := d.Map(0, pa, 64, pci.DirBidi); !errors.Is(err, ErrOverflow) {
+		t.Errorf("full ring map error = %v, want ErrOverflow", err)
+	}
+	// Draining one slot makes room again.
+	if err := d.Unmap(0, vs[0], 0, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Map(0, pa, 64, pci.DirBidi); err != nil {
+		t.Errorf("map after drain: %v", err)
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	d, hw, mm, _ := setup(t, true, 8)
+	pa := buffer(t, mm)
+	// Map/translate/unmap 50 buffers through an 8-entry ring: the tail
+	// wraps six times and every translation must still be exact.
+	for i := 0; i < 50; i++ {
+		v, err := d.Map(0, pa+mem.PA(i%7)*64, 64, pci.DirFromDevice)
+		if err != nil {
+			t.Fatalf("map %d: %v", i, err)
+		}
+		got, err := hw.Rtranslate(dev, IOVA(v), pci.DirFromDevice)
+		if err != nil {
+			t.Fatalf("translate %d: %v", i, err)
+		}
+		if got != pa+mem.PA(i%7)*64 {
+			t.Fatalf("translate %d = %#x", i, got)
+		}
+		if err := d.Unmap(0, v, 0, true); err != nil {
+			t.Fatalf("unmap %d: %v", i, err)
+		}
+	}
+}
+
+func TestSequentialPrefetchHits(t *testing.T) {
+	// The headline design property: a burst of in-order translations is
+	// served by the prefetched next rPTE; only the first access per burst
+	// fetches from DRAM.
+	d, hw, mm, _ := setup(t, true, 64)
+	pa := buffer(t, mm)
+	var vs []uint64
+	for i := 0; i < 32; i++ {
+		v, err := d.Map(0, pa, 64, pci.DirFromDevice)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vs = append(vs, v)
+	}
+	for _, v := range vs {
+		if _, err := hw.Rtranslate(dev, IOVA(v), pci.DirFromDevice); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := hw.Stats()
+	if s.PrefetchHits != 31 {
+		t.Errorf("PrefetchHits = %d, want 31 (all but the first)", s.PrefetchHits)
+	}
+	if s.TableFetches != 1 {
+		t.Errorf("TableFetches = %d, want 1", s.TableFetches)
+	}
+	for i, v := range vs {
+		if err := d.Unmap(0, v, 0, i == len(vs)-1); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestOneInvalidationPerBurst(t *testing.T) {
+	// §4: given a burst of unmaps, only the last IOVA requires an explicit
+	// invalidation, because each rRING has at most one rIOTLB entry.
+	d, hw, mm, _ := setup(t, true, 256)
+	pa := buffer(t, mm)
+	var vs []uint64
+	for i := 0; i < 200; i++ {
+		v, err := d.Map(0, pa, 64, pci.DirFromDevice)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := hw.Rtranslate(dev, IOVA(v), pci.DirFromDevice); err != nil {
+			t.Fatal(err)
+		}
+		vs = append(vs, v)
+	}
+	before := hw.Stats().Invalidations
+	for i, v := range vs {
+		if err := d.Unmap(0, v, 0, i == len(vs)-1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := hw.Stats().Invalidations - before; got != 1 {
+		t.Errorf("burst of 200 unmaps issued %d invalidations, want 1", got)
+	}
+	// And after the burst-final invalidation the ring is clean: a stale
+	// access faults.
+	if _, err := hw.Rtranslate(dev, IOVA(vs[100]), pci.DirFromDevice); err == nil {
+		t.Error("post-burst stale access must fault")
+	}
+}
+
+func TestAtMostOneTLBEntryPerRing(t *testing.T) {
+	d, hw, mm, _ := setup(t, true, 128, 128)
+	pa := buffer(t, mm)
+	for i := 0; i < 40; i++ {
+		v0, err := d.Map(0, pa, 64, pci.DirFromDevice)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v1, err := d.Map(1, pa, 64, pci.DirToDevice)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := hw.Rtranslate(dev, IOVA(v0), pci.DirFromDevice); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := hw.Rtranslate(dev, IOVA(v1), pci.DirToDevice); err != nil {
+			t.Fatal(err)
+		}
+		if hw.TLBEntries() > 2 {
+			t.Fatalf("rIOTLB holds %d entries for 2 rings", hw.TLBEntries())
+		}
+		if err := d.Unmap(0, v0, 0, true); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Unmap(1, v1, 0, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestOutOfOrderAccess(t *testing.T) {
+	// §4 Applicability: IOVAs may be *used* out of order while mapped; only
+	// the prefetch benefit is lost.
+	d, hw, mm, _ := setup(t, true, 64)
+	pa := buffer(t, mm)
+	var vs []uint64
+	for i := 0; i < 16; i++ {
+		v, err := d.Map(0, pa+mem.PA(i)*128, 128, pci.DirFromDevice)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vs = append(vs, v)
+	}
+	// Access in reverse order: every translation must still be correct.
+	for i := len(vs) - 1; i >= 0; i-- {
+		got, err := hw.Rtranslate(dev, IOVA(vs[i]), pci.DirFromDevice)
+		if err != nil {
+			t.Fatalf("reverse access %d: %v", i, err)
+		}
+		if got != pa+mem.PA(i)*128 {
+			t.Fatalf("reverse access %d = %#x", i, got)
+		}
+	}
+	if hw.Stats().PrefetchHits != 0 {
+		t.Errorf("PrefetchHits = %d for reverse access, want 0", hw.Stats().PrefetchHits)
+	}
+	for i, v := range vs {
+		if err := d.Unmap(0, v, 0, i == len(vs)-1); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestWalkBoundsChecks(t *testing.T) {
+	_, hw, _, _ := setup(t, true, 16)
+	// rid out of range.
+	if _, err := hw.Rtranslate(dev, PackIOVA(0, 0, 9), pci.DirFromDevice); err == nil {
+		t.Error("out-of-range rid must fault")
+	}
+	// rentry out of range.
+	if _, err := hw.Rtranslate(dev, PackIOVA(0, 20, 0), pci.DirFromDevice); err == nil {
+		t.Error("out-of-range rentry must fault")
+	}
+	// Unknown device.
+	if _, err := hw.Rtranslate(pci.NewBDF(7, 7, 7), PackIOVA(0, 0, 0), pci.DirFromDevice); err == nil {
+		t.Error("unknown bdf must fault")
+	}
+	// Invalid rPTE.
+	if _, err := hw.Rtranslate(dev, PackIOVA(0, 3, 0), pci.DirFromDevice); err == nil {
+		t.Error("invalid rPTE must fault")
+	}
+	if hw.Stats().Faults != 4 {
+		t.Errorf("Faults = %d, want 4", hw.Stats().Faults)
+	}
+}
+
+func TestTranslateSizeBound(t *testing.T) {
+	d, hw, mm, _ := setup(t, true)
+	pa := buffer(t, mm)
+	v, err := d.Map(0, pa, 100, pci.DirFromDevice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hw.Translate(dev, v, 100, pci.DirFromDevice); err != nil {
+		t.Errorf("exact-size access: %v", err)
+	}
+	if _, err := hw.Translate(dev, v, 101, pci.DirFromDevice); err == nil {
+		t.Error("oversized access must fault")
+	}
+	if _, err := hw.Translate(dev, uint64(IOVA(v).Add(60)), 41, pci.DirFromDevice); err == nil {
+		t.Error("offset+size past buffer must fault")
+	}
+	if err := d.Unmap(0, v, 0, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoherencyModesCost(t *testing.T) {
+	run := func(coherent bool) uint64 {
+		d, _, mm, clk := setup(t, coherent)
+		pa := buffer(t, mm)
+		before := clk.Now()
+		v, err := d.Map(0, pa, 64, pci.DirFromDevice)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Unmap(0, v, 0, false); err != nil {
+			t.Fatal(err)
+		}
+		return clk.Now() - before
+	}
+	coh := run(true)
+	inc := run(false)
+	model := cycles.DefaultModel()
+	wantDelta := 2 * (model.CachelineFlush + model.MemoryBarrier) // one per sync_mem, map+unmap
+	if inc-coh != wantDelta {
+		t.Errorf("riommu− − riommu = %d cycles per map/unmap pair, want %d", inc-coh, wantDelta)
+	}
+}
+
+func TestMapValidation(t *testing.T) {
+	d, _, mm, _ := setup(t, true)
+	pa := buffer(t, mm)
+	if _, err := d.Map(5, pa, 64, pci.DirBidi); err == nil {
+		t.Error("map on nonexistent ring should fail")
+	}
+	if _, err := d.Map(0, pa, 0, pci.DirBidi); err == nil {
+		t.Error("zero-size map should fail")
+	}
+	if _, err := d.Map(0, pa, MaxOffset, pci.DirBidi); err == nil {
+		t.Error("u30-overflow size should fail")
+	}
+	if _, err := d.Map(0, pa, 64, pci.DirNone); err == nil {
+		t.Error("directionless map should fail")
+	}
+}
+
+func TestUnmapValidation(t *testing.T) {
+	d, _, _, _ := setup(t, true)
+	if err := d.Unmap(0, uint64(PackIOVA(0, 0, 9)), 0, true); err == nil {
+		t.Error("unmap on nonexistent ring should fail")
+	}
+	if err := d.Unmap(0, uint64(PackIOVA(0, 999, 0)), 0, true); err == nil {
+		t.Error("unmap with out-of-range rentry should fail")
+	}
+	if err := d.Unmap(0, uint64(PackIOVA(0, 3, 0)), 0, true); err == nil {
+		t.Error("unmap of never-mapped rentry should fail")
+	}
+}
+
+func TestPinningLifecycle(t *testing.T) {
+	d, _, mm, _ := setup(t, true)
+	pa := buffer(t, mm)
+	v, err := d.Map(0, pa, 64, pci.DirFromDevice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mm.Pinned(pa) {
+		t.Error("buffer not pinned while mapped")
+	}
+	if err := d.Unmap(0, v, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	if mm.Pinned(pa) {
+		t.Error("buffer still pinned after unmap")
+	}
+}
+
+func TestAttachValidation(t *testing.T) {
+	mm := mem.MustNew(256 * mem.PageSize)
+	clk := &cycles.Clock{}
+	model := cycles.DefaultModel()
+	hw := New(clk, &model, mm)
+	if _, err := hw.AttachDevice(dev, nil); err == nil {
+		t.Error("attach with no rings should fail")
+	}
+	if _, err := hw.AttachDevice(dev, []uint32{0}); err == nil {
+		t.Error("attach with zero-size ring should fail")
+	}
+	if _, err := hw.AttachDevice(dev, []uint32{MaxRingSize}); err == nil {
+		t.Error("attach with u18-overflow ring should fail")
+	}
+	if _, err := hw.AttachDevice(dev, []uint32{16}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hw.AttachDevice(dev, []uint32{16}); err == nil {
+		t.Error("duplicate attach should fail")
+	}
+	if hw.Device(dev) == nil {
+		t.Error("Device lookup failed")
+	}
+	if err := hw.DetachDevice(dev); err != nil {
+		t.Fatal(err)
+	}
+	if err := hw.DetachDevice(dev); err == nil {
+		t.Error("double detach should fail")
+	}
+}
+
+func TestDetachFreesTableFrames(t *testing.T) {
+	mm := mem.MustNew(256 * mem.PageSize)
+	clk := &cycles.Clock{}
+	model := cycles.DefaultModel()
+	hw := New(clk, &model, mm)
+	before := mm.FreeFrames()
+	// 1024-entry ring needs 4 frames (16 KiB of rPTEs).
+	if _, err := hw.AttachDevice(dev, []uint32{1024, 64}); err != nil {
+		t.Fatal(err)
+	}
+	if err := hw.DetachDevice(dev); err != nil {
+		t.Fatal(err)
+	}
+	if got := mm.FreeFrames(); got != before {
+		t.Errorf("frame leak: %d free, want %d", got, before)
+	}
+}
+
+// Property: any in-range interleaving of map/translate/unmap keeps the
+// rIOTLB at <= 1 entry per ring and translations exact per a shadow model.
+func TestShadowModelProperty(t *testing.T) {
+	prop := func(ops []uint8) bool {
+		mm := mem.MustNew(512 * mem.PageSize)
+		clk := &cycles.Clock{}
+		model := cycles.DefaultModel()
+		hw := New(clk, &model, mm)
+		d, err := NewDriver(clk, &model, mm, hw, dev, []uint32{32}, true)
+		if err != nil {
+			return false
+		}
+		pa := func() mem.PA { f, _ := mm.AllocFrame(); return f.PA() }()
+
+		type mapping struct {
+			iova uint64
+			pa   mem.PA
+		}
+		var live []mapping
+		for _, op := range ops {
+			switch op % 3 {
+			case 0: // map
+				target := pa + mem.PA(op)*8
+				v, err := d.Map(0, target, 64, pci.DirFromDevice)
+				if errors.Is(err, ErrOverflow) {
+					continue
+				}
+				if err != nil {
+					return false
+				}
+				live = append(live, mapping{v, target})
+			case 1: // translate a random live mapping
+				if len(live) == 0 {
+					continue
+				}
+				m := live[int(op)%len(live)]
+				got, err := hw.Rtranslate(dev, IOVA(m.iova), pci.DirFromDevice)
+				if err != nil || got != m.pa {
+					return false
+				}
+			case 2: // unmap FIFO (ring order)
+				if len(live) == 0 {
+					continue
+				}
+				m := live[0]
+				live = live[1:]
+				if err := d.Unmap(0, m.iova, 0, true); err != nil {
+					return false
+				}
+			}
+			if hw.TLBEntries() > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

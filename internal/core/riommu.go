@@ -1,0 +1,370 @@
+package core
+
+import (
+	"fmt"
+
+	"riommu/internal/cycles"
+	"riommu/internal/mem"
+	"riommu/internal/pci"
+)
+
+// rPTE memory layout (Figure 9c): 128 bits per entry in simulated physical
+// memory. Word 0 holds phys_addr; word 1 packs size (u30), dir (u2) and
+// valid (u1).
+const (
+	rpteBytes = 16
+
+	rpteSizeShift  = 0
+	rpteDirShift   = 30
+	rpteValidShift = 32
+)
+
+// rpte is the decoded in-flight copy of a flat-table entry.
+type rpte struct {
+	physAddr mem.PA
+	size     uint32
+	dir      pci.Dir
+	valid    bool
+}
+
+func encodeRPTE(p rpte) (w0, w1 uint64) {
+	w0 = uint64(p.physAddr)
+	w1 = uint64(p.size&(MaxOffset-1))<<rpteSizeShift |
+		uint64(p.dir&3)<<rpteDirShift
+	if p.valid {
+		w1 |= 1 << rpteValidShift
+	}
+	return w0, w1
+}
+
+func decodeRPTE(w0, w1 uint64) rpte {
+	return rpte{
+		physAddr: mem.PA(w0),
+		size:     uint32(w1>>rpteSizeShift) & (MaxOffset - 1),
+		dir:      pci.Dir(w1>>rpteDirShift) & 3,
+		valid:    w1>>rpteValidShift&1 == 1,
+	}
+}
+
+// Ring is an rRING (Figure 9b): a flat page table backing one device ring.
+// The first two fields are hardware-visible (the flat table's location and
+// size); tail and nmapped are used only by the OS driver.
+type Ring struct {
+	tablePA mem.PA // physical base of the rPTE array
+	size    uint32 // number of rPTEs (u18)
+	frames  mem.PFN
+	nframes int
+
+	tail    uint32 // SW only: next entry to allocate
+	nmapped uint32 // SW only: live mappings
+}
+
+// Size returns the number of entries in the flat table.
+func (r *Ring) Size() uint32 { return r.size }
+
+// Mapped returns the number of live mappings (SW bookkeeping).
+func (r *Ring) Mapped() uint32 { return r.nmapped }
+
+// Device is an rDEVICE (Figure 9a): the per-device array of rRINGs, pointed
+// to by the context table entry of its bus-device-function.
+type Device struct {
+	bdf   pci.BDF
+	rings []*Ring
+}
+
+// BDF returns the device's PCI identity.
+func (d *Device) BDF() pci.BDF { return d.bdf }
+
+// Rings returns the number of flat tables the device owns.
+func (d *Device) Rings() int { return len(d.rings) }
+
+// Ring returns ring rid, or nil if out of range.
+func (d *Device) Ring(rid int) *Ring {
+	if rid < 0 || rid >= len(d.rings) {
+		return nil
+	}
+	return d.rings[rid]
+}
+
+// tlbKey identifies the single rIOTLB entry a ring may occupy (bdf+rid).
+type tlbKey struct {
+	bdf pci.BDF
+	rid uint16
+}
+
+// tlbEntry is an rIOTLB_entry (Figure 9e): the cached "current" rPTE of one
+// ring plus an optionally prefetched copy of the subsequent rPTE.
+type tlbEntry struct {
+	bdf    pci.BDF
+	rid    uint16
+	rentry uint32
+	rpte   rpte
+	next   rpte // prefetched copy; next.valid gates its use
+}
+
+// IOPF is the I/O page fault raised by rtranslate/rtable_walk. OSes
+// typically reinitialize the device on receiving one (§4).
+type IOPF struct {
+	BDF    pci.BDF
+	IOVA   IOVA
+	Reason string
+}
+
+func (e *IOPF) Error() string {
+	return fmt.Sprintf("riommu: I/O page fault dev=%s %s: %s", e.BDF, e.IOVA, e.Reason)
+}
+
+// Stats counts rIOMMU hardware events.
+type Stats struct {
+	Translations  uint64
+	PrefetchHits  uint64 // syncs satisfied by the prefetched next rPTE
+	TableFetches  uint64 // rPTE fetches from DRAM (walks + failed prefetch)
+	Invalidations uint64 // explicit rIOTLB invalidations (end of burst)
+	Faults        uint64
+}
+
+// RIOMMU is the rIOMMU hardware: the registry of rDEVICEs plus the rIOTLB.
+type RIOMMU struct {
+	clk   *cycles.Clock
+	model *cycles.Model
+	mm    *mem.PhysMem
+
+	devices map[pci.BDF]*Device
+	tlb     map[tlbKey]*tlbEntry
+	stats   Stats
+
+	// DisablePrefetch turns off the speculative next-rPTE load. The design
+	// does not depend on it (§4: "works just as well without it" for
+	// correctness); the ablation experiment quantifies what it buys on the
+	// device side.
+	DisablePrefetch bool
+}
+
+// New creates an rIOMMU over the given simulated memory.
+func New(clk *cycles.Clock, model *cycles.Model, mm *mem.PhysMem) *RIOMMU {
+	return &RIOMMU{
+		clk:     clk,
+		model:   model,
+		mm:      mm,
+		devices: make(map[pci.BDF]*Device),
+		tlb:     make(map[tlbKey]*tlbEntry),
+	}
+}
+
+// Stats returns a copy of the hardware event counters.
+func (u *RIOMMU) Stats() Stats { return u.stats }
+
+// TLBEntries returns the number of live rIOTLB entries (at most one per
+// ring, by construction).
+func (u *RIOMMU) TLBEntries() int { return len(u.tlb) }
+
+// AttachDevice registers a device with ringSizes[i] entries in ring i,
+// allocating each flat table in simulated physical memory. Ring sizes must
+// fit the u18 rentry field.
+func (u *RIOMMU) AttachDevice(bdf pci.BDF, ringSizes []uint32) (*Device, error) {
+	if _, dup := u.devices[bdf]; dup {
+		return nil, fmt.Errorf("riommu: device %s already attached", bdf)
+	}
+	if len(ringSizes) == 0 || len(ringSizes) >= MaxRings {
+		return nil, fmt.Errorf("riommu: device needs 1..%d rings, got %d", MaxRings-1, len(ringSizes))
+	}
+	d := &Device{bdf: bdf}
+	for rid, n := range ringSizes {
+		if n == 0 || n >= MaxRingSize {
+			return nil, fmt.Errorf("riommu: ring %d size %d out of u18 range", rid, n)
+		}
+		bytes := uint64(n) * rpteBytes
+		nframes := int((bytes + mem.PageSize - 1) / mem.PageSize)
+		f, err := u.mm.AllocFrames(nframes)
+		if err != nil {
+			return nil, fmt.Errorf("riommu: allocating flat table for ring %d: %w", rid, err)
+		}
+		d.rings = append(d.rings, &Ring{
+			tablePA: f.PA(),
+			size:    n,
+			frames:  f,
+			nframes: nframes,
+		})
+	}
+	u.devices[bdf] = d
+	return d, nil
+}
+
+// DetachDevice tears the device down, freeing its flat tables and purging
+// its rIOTLB entries.
+func (u *RIOMMU) DetachDevice(bdf pci.BDF) error {
+	d, ok := u.devices[bdf]
+	if !ok {
+		return fmt.Errorf("riommu: device %s not attached", bdf)
+	}
+	for rid, r := range d.rings {
+		delete(u.tlb, tlbKey{bdf: bdf, rid: uint16(rid)})
+		for i := 0; i < r.nframes; i++ {
+			if err := u.mm.FreeFrame(r.frames + mem.PFN(i)); err != nil {
+				return err
+			}
+		}
+	}
+	delete(u.devices, bdf)
+	return nil
+}
+
+// Device returns the attached rDEVICE for bdf, or nil.
+func (u *RIOMMU) Device(bdf pci.BDF) *Device { return u.devices[bdf] }
+
+// readRPTE fetches flat-table entry i of ring r from simulated memory.
+func (u *RIOMMU) readRPTE(r *Ring, i uint32) (rpte, error) {
+	pa := r.tablePA + mem.PA(uint64(i)*rpteBytes)
+	w0, err := u.mm.ReadU64(pa)
+	if err != nil {
+		return rpte{}, err
+	}
+	w1, err := u.mm.ReadU64(pa + 8)
+	if err != nil {
+		return rpte{}, err
+	}
+	return decodeRPTE(w0, w1), nil
+}
+
+// writeRPTE stores flat-table entry i of ring r (used by the OS driver).
+func (u *RIOMMU) writeRPTE(r *Ring, i uint32, p rpte) error {
+	pa := r.tablePA + mem.PA(uint64(i)*rpteBytes)
+	w0, w1 := encodeRPTE(p)
+	if err := u.mm.WriteU64(pa, w0); err != nil {
+		return err
+	}
+	return u.mm.WriteU64(pa+8, w1)
+}
+
+func (u *RIOMMU) fault(bdf pci.BDF, iova IOVA, reason string) error {
+	u.stats.Faults++
+	return &IOPF{BDF: bdf, IOVA: iova, Reason: reason}
+}
+
+// rtableWalk implements rtable_walk (Figure 10 top/right): bounds-check the
+// rIOVA against the rDEVICE/rRING limits, fetch its rPTE from memory,
+// validate it, build the rIOTLB entry, and attempt to prefetch the next one.
+func (u *RIOMMU) rtableWalk(bdf pci.BDF, iova IOVA) (*tlbEntry, error) {
+	d, ok := u.devices[bdf]
+	if !ok {
+		return nil, u.fault(bdf, iova, "no rDEVICE for bdf")
+	}
+	rid := iova.RID()
+	if int(rid) >= len(d.rings) {
+		return nil, u.fault(bdf, iova, "rid out of range")
+	}
+	r := d.rings[rid]
+	if iova.REntry() >= r.size {
+		return nil, u.fault(bdf, iova, "rentry out of range")
+	}
+	p, err := u.readRPTE(r, iova.REntry())
+	if err != nil {
+		return nil, err
+	}
+	u.stats.TableFetches++
+	u.clk.Charge(cycles.DeviceSide, u.model.RIOTLBFetch)
+	if !p.valid {
+		return nil, u.fault(bdf, iova, "invalid rPTE")
+	}
+	e := &tlbEntry{bdf: bdf, rid: rid, rentry: iova.REntry(), rpte: p}
+	u.rprefetch(d, e)
+	return e, nil
+}
+
+// rprefetch implements rprefetch (Figure 10 bottom/right): copy the
+// subsequent rPTE into e.next if it is currently valid. Prefetching is
+// speculative and free of side effects; in real hardware it is asynchronous,
+// so it charges nothing to the device-side clock.
+func (u *RIOMMU) rprefetch(d *Device, e *tlbEntry) {
+	if u.DisablePrefetch {
+		e.next = rpte{}
+		return
+	}
+	r := d.rings[e.rid]
+	next := (e.rentry + 1) % r.size
+	e.next = rpte{}
+	if r.size > 1 {
+		if p, err := u.readRPTE(r, next); err == nil && p.valid {
+			e.next = p
+		}
+	}
+}
+
+// riotlbEntrySync implements riotlb_entry_sync (Figure 10 bottom/left):
+// bring e up to date with the rIOVA being translated, using the prefetched
+// next entry when it matches (the sequential fast path) and a table walk
+// otherwise.
+func (u *RIOMMU) riotlbEntrySync(bdf pci.BDF, iova IOVA, e *tlbEntry) error {
+	d := u.devices[bdf]
+	next := (e.rentry + 1) % d.rings[e.rid].size
+	if e.next.valid && iova.REntry() == next {
+		e.rpte = e.next
+		e.rentry = next
+		e.next.valid = false
+		u.stats.PrefetchHits++
+	} else {
+		w, err := u.rtableWalk(bdf, iova)
+		if err != nil {
+			return err
+		}
+		*e = *w
+		return nil // rtableWalk already prefetched
+	}
+	u.rprefetch(d, e)
+	return nil
+}
+
+// Rtranslate implements rtranslate (Figure 10 top/left): resolve a packed
+// rIOVA to a physical address, enforcing the per-buffer size and direction
+// recorded in its rPTE.
+func (u *RIOMMU) Rtranslate(bdf pci.BDF, iova IOVA, dir pci.Dir) (mem.PA, error) {
+	u.stats.Translations++
+	key := tlbKey{bdf: bdf, rid: iova.RID()}
+	e, ok := u.tlb[key]
+	if !ok {
+		w, err := u.rtableWalk(bdf, iova)
+		if err != nil {
+			return 0, err
+		}
+		e = w
+		u.tlb[key] = e
+	} else if e.rentry != iova.REntry() {
+		if err := u.riotlbEntrySync(bdf, iova, e); err != nil {
+			return 0, err
+		}
+	}
+	// Note: when e.rentry == iova.rentry the cached copy is used as-is even
+	// if the OS has since cleared the rPTE in memory — the rIOTLB is not
+	// coherent with memory, which is precisely why the driver must issue an
+	// explicit invalidation at the end of each unmap burst (§4).
+	if iova.Offset() >= e.rpte.size || !e.rpte.dir.Allows(dir) {
+		return 0, u.fault(bdf, iova, fmt.Sprintf("offset %#x >= size %#x or direction %s not permitted by %s",
+			iova.Offset(), e.rpte.size, dir, e.rpte.dir))
+	}
+	return e.rpte.physAddr + mem.PA(iova.Offset()), nil
+}
+
+// Translate adapts Rtranslate to the flat-uint64 Translator interface used
+// by the DMA engine. size is checked against the rPTE bound (fine-grained
+// protection: the whole access must fall inside the mapped buffer).
+func (u *RIOMMU) Translate(bdf pci.BDF, iovaAddr uint64, size uint32, dir pci.Dir) (mem.PA, error) {
+	iova := IOVA(iovaAddr)
+	pa, err := u.Rtranslate(bdf, iova, dir)
+	if err != nil {
+		return 0, err
+	}
+	if size > 0 {
+		key := tlbKey{bdf: bdf, rid: iova.RID()}
+		if e := u.tlb[key]; e != nil && uint64(iova.Offset())+uint64(size) > uint64(e.rpte.size) {
+			return 0, u.fault(bdf, iova, fmt.Sprintf("access of %d bytes exceeds buffer size %d", size, e.rpte.size))
+		}
+	}
+	return pa, nil
+}
+
+// invalidate drops the ring's single rIOTLB entry (the end-of-burst
+// operation issued by the OS driver's unmap).
+func (u *RIOMMU) invalidate(bdf pci.BDF, rid uint16) {
+	delete(u.tlb, tlbKey{bdf: bdf, rid: rid})
+	u.stats.Invalidations++
+}

@@ -1,0 +1,233 @@
+package cycles
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestClockZeroValue(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatalf("zero clock Now = %d, want 0", c.Now())
+	}
+	for _, comp := range Components() {
+		if c.Total(comp) != 0 || c.Count(comp) != 0 {
+			t.Fatalf("zero clock has accounting for %v", comp)
+		}
+	}
+}
+
+func TestChargeAdvancesAndAttributes(t *testing.T) {
+	var c Clock
+	c.Charge(MapIOVAAlloc, 100)
+	c.Charge(MapIOVAAlloc, 50)
+	c.Charge(UnmapIOTLBInv, 2127)
+
+	if got := c.Now(); got != 2277 {
+		t.Errorf("Now = %d, want 2277", got)
+	}
+	if got := c.Total(MapIOVAAlloc); got != 150 {
+		t.Errorf("Total(MapIOVAAlloc) = %d, want 150", got)
+	}
+	if got := c.Count(MapIOVAAlloc); got != 2 {
+		t.Errorf("Count(MapIOVAAlloc) = %d, want 2", got)
+	}
+	if got := c.Average(MapIOVAAlloc); got != 75 {
+		t.Errorf("Average(MapIOVAAlloc) = %v, want 75", got)
+	}
+	if got := c.Total(UnmapIOTLBInv); got != 2127 {
+		t.Errorf("Total(UnmapIOTLBInv) = %d, want 2127", got)
+	}
+}
+
+func TestChargeFreeDoesNotCount(t *testing.T) {
+	var c Clock
+	c.Charge(UnmapIOTLBInv, 9)
+	c.ChargeFree(UnmapIOTLBInv, 2150)
+	if got := c.Count(UnmapIOTLBInv); got != 1 {
+		t.Errorf("Count = %d, want 1", got)
+	}
+	if got := c.Total(UnmapIOTLBInv); got != 2159 {
+		t.Errorf("Total = %d, want 2159", got)
+	}
+	if got := c.Now(); got != 2159 {
+		t.Errorf("Now = %d, want 2159", got)
+	}
+}
+
+func TestAverageEmpty(t *testing.T) {
+	var c Clock
+	if got := c.Average(Stack); got != 0 {
+		t.Errorf("Average of uncharged component = %v, want 0", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	var c Clock
+	c.Charge(Stack, 1816)
+	c.Reset()
+	if c.Now() != 0 || c.Total(Stack) != 0 || c.Count(Stack) != 0 {
+		t.Errorf("Reset did not clear state: now=%d total=%d count=%d",
+			c.Now(), c.Total(Stack), c.Count(Stack))
+	}
+}
+
+func TestSnapshotSub(t *testing.T) {
+	var c Clock
+	c.Charge(MapPageTable, 588)
+	before := c.Snapshot()
+	c.Charge(MapPageTable, 590)
+	c.Charge(App, 1000)
+	delta := c.Snapshot().Sub(before)
+
+	if got := delta.Total(MapPageTable); got != 590 {
+		t.Errorf("delta Total(MapPageTable) = %d, want 590", got)
+	}
+	if got := delta.Total(App); got != 1000 {
+		t.Errorf("delta Total(App) = %d, want 1000", got)
+	}
+	if got := delta.Now; got != 1590 {
+		t.Errorf("delta Now = %d, want 1590", got)
+	}
+	if got := delta.Average(MapPageTable); got != 590 {
+		t.Errorf("delta Average(MapPageTable) = %v, want 590", got)
+	}
+}
+
+func TestSnapshotAverageEmpty(t *testing.T) {
+	var s Snapshot
+	if got := s.Average(App); got != 0 {
+		t.Errorf("empty snapshot Average = %v, want 0", got)
+	}
+}
+
+func TestComponentString(t *testing.T) {
+	cases := map[Component]string{
+		MapIOVAAlloc:  "map/iova-alloc",
+		UnmapIOTLBInv: "unmap/iotlb-inv",
+		Stack:         "stack",
+		Component(99): "component(99)",
+		Component(-1): "component(-1)",
+	}
+	for comp, want := range cases {
+		if got := comp.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(comp), got, want)
+		}
+	}
+}
+
+func TestComponentsList(t *testing.T) {
+	comps := Components()
+	if len(comps) != NumComponents {
+		t.Fatalf("len(Components()) = %d, want %d", len(comps), NumComponents)
+	}
+	for i, comp := range comps {
+		if int(comp) != i {
+			t.Errorf("Components()[%d] = %v", i, comp)
+		}
+	}
+}
+
+// Property: the clock total always equals the sum of per-component totals.
+func TestClockConservation(t *testing.T) {
+	f := func(charges []uint8) bool {
+		var c Clock
+		for i, n := range charges {
+			comp := Component(i % NumComponents)
+			c.Charge(comp, uint64(n))
+		}
+		var sum uint64
+		for _, comp := range Components() {
+			sum += c.Total(comp)
+		}
+		return sum == c.Now()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Snapshot/Sub is consistent with direct accounting.
+func TestSnapshotSubProperty(t *testing.T) {
+	f := func(a, b []uint8) bool {
+		var c Clock
+		for i, n := range a {
+			c.Charge(Component(i%NumComponents), uint64(n))
+		}
+		s1 := c.Snapshot()
+		for i, n := range b {
+			c.Charge(Component(i%NumComponents), uint64(n))
+		}
+		d := c.Snapshot().Sub(s1)
+		var want uint64
+		for _, n := range b {
+			want += uint64(n)
+		}
+		return d.Now == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestModelConversions(t *testing.T) {
+	m := DefaultModel()
+	if m.ClockGHz != 3.10 {
+		t.Fatalf("ClockGHz = %v, want 3.10", m.ClockGHz)
+	}
+	// 3.1e9 cycles == 1 second.
+	if got := m.Seconds(3_100_000_000); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("Seconds(3.1e9) = %v, want 1", got)
+	}
+	if got := m.Micros(3100); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("Micros(3100) = %v, want 1", got)
+	}
+	if got := m.CyclesPerSecond(); got != 3.1e9 {
+		t.Errorf("CyclesPerSecond = %v, want 3.1e9", got)
+	}
+}
+
+func TestDefaultModelTable1Anchors(t *testing.T) {
+	m := DefaultModel()
+	// The headline hardware costs must match Table 1's direct measurements.
+	if m.IOTLBInvEntry != 2127 {
+		t.Errorf("IOTLBInvEntry = %d, want 2127 (Table 1)", m.IOTLBInvEntry)
+	}
+	if m.DeferQueueOp != 9 {
+		t.Errorf("DeferQueueOp = %d, want 9 (Table 1 defer iotlb inv)", m.DeferQueueOp)
+	}
+	if m.MapFixed != 44 {
+		t.Errorf("MapFixed = %d, want 44 (Table 1 strict map other)", m.MapFixed)
+	}
+}
+
+func TestScaledModel(t *testing.T) {
+	m := DefaultModel()
+	s := m.Scaled(0.5)
+	// Driver/hardware per-op costs halve (rounded).
+	if s.IOTLBInvEntry != 1064 {
+		t.Errorf("scaled IOTLBInvEntry = %d, want 1064", s.IOTLBInvEntry)
+	}
+	if s.CachelineFlush != m.CachelineFlush/2 {
+		t.Errorf("scaled CachelineFlush = %d", s.CachelineFlush)
+	}
+	if s.FreelistOp != m.FreelistOp/2 {
+		t.Errorf("scaled FreelistOp = %d", s.FreelistOp)
+	}
+	// Machine physics stay fixed: clock, DRAM-bound rbtree visits,
+	// device-side walk costs.
+	if s.ClockGHz != m.ClockGHz {
+		t.Error("Scaled must not change the clock")
+	}
+	if s.RBNodeVisit != m.RBNodeVisit {
+		t.Error("Scaled must not change the DRAM-bound node visit cost")
+	}
+	if s.IOTLBMiss != m.IOTLBMiss || s.RIOTLBFetch != m.RIOTLBFetch {
+		t.Error("Scaled must not change device-side costs")
+	}
+	// Scaling by 1 is the identity.
+	if m.Scaled(1.0) != m {
+		t.Error("Scaled(1.0) should be the identity")
+	}
+}

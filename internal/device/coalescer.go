@@ -1,0 +1,61 @@
+package device
+
+// Coalescer models interrupt coalescing (§2.3: "The device coalesces
+// interrupts when their rate is high"): completion events accumulate and an
+// interrupt fires only when enough have gathered or the oldest has waited
+// long enough. High-rate traffic therefore delivers completions to the
+// driver in large bursts — the very property that lets the driver's unmap
+// loop amortize the rIOTLB invalidation (§4's ~200-iteration bursts).
+type Coalescer struct {
+	// MaxEvents fires an interrupt once this many completions accumulate.
+	MaxEvents int
+	// MaxWaitCycles fires once the oldest pending completion has waited
+	// this long (device-side cycles), bounding added latency.
+	MaxWaitCycles uint64
+
+	pending  int
+	oldestAt uint64
+	// Interrupts counts fired interrupts; Events counts completions.
+	Interrupts, Events uint64
+}
+
+// NewCoalescer returns a coalescer with the given thresholds. Zero values
+// disable that trigger (but at least one must be set to ever fire).
+func NewCoalescer(maxEvents int, maxWaitCycles uint64) *Coalescer {
+	return &Coalescer{MaxEvents: maxEvents, MaxWaitCycles: maxWaitCycles}
+}
+
+// Pending returns the completions accumulated since the last interrupt.
+func (c *Coalescer) Pending() int { return c.pending }
+
+// Event records one completion at device time `now` and reports whether an
+// interrupt fires. When it fires, the pending count resets — the driver is
+// expected to reap everything available.
+func (c *Coalescer) Event(now uint64) bool {
+	if c.pending == 0 {
+		c.oldestAt = now
+	}
+	c.pending++
+	c.Events++
+	return c.maybeFire(now)
+}
+
+// Poll checks the timeout trigger without a new completion (the driver or a
+// timer tick calling in at device time `now`).
+func (c *Coalescer) Poll(now uint64) bool {
+	if c.pending == 0 {
+		return false
+	}
+	return c.maybeFire(now)
+}
+
+func (c *Coalescer) maybeFire(now uint64) bool {
+	byCount := c.MaxEvents > 0 && c.pending >= c.MaxEvents
+	byTime := c.MaxWaitCycles > 0 && now-c.oldestAt >= c.MaxWaitCycles
+	if !byCount && !byTime {
+		return false
+	}
+	c.pending = 0
+	c.Interrupts++
+	return true
+}

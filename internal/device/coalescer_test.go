@@ -1,0 +1,85 @@
+package device
+
+import "testing"
+
+func TestCoalescerCountTrigger(t *testing.T) {
+	c := NewCoalescer(4, 0)
+	for i := 0; i < 3; i++ {
+		if c.Event(uint64(i)) {
+			t.Fatalf("fired after %d events", i+1)
+		}
+	}
+	if !c.Event(3) {
+		t.Fatal("did not fire at MaxEvents")
+	}
+	if c.Pending() != 0 {
+		t.Error("pending not reset after fire")
+	}
+	if c.Interrupts != 1 || c.Events != 4 {
+		t.Errorf("stats: %d interrupts, %d events", c.Interrupts, c.Events)
+	}
+	// The cycle repeats.
+	for i := 0; i < 3; i++ {
+		if c.Event(uint64(10 + i)) {
+			t.Fatal("premature fire on second round")
+		}
+	}
+	if !c.Event(13) {
+		t.Fatal("second round did not fire")
+	}
+}
+
+func TestCoalescerTimeoutTrigger(t *testing.T) {
+	c := NewCoalescer(100, 500)
+	if c.Event(0) {
+		t.Fatal("fired immediately")
+	}
+	if c.Poll(499) {
+		t.Fatal("fired before timeout")
+	}
+	if !c.Poll(500) {
+		t.Fatal("did not fire at timeout")
+	}
+	// Timeout is measured from the OLDEST pending event.
+	if c.Event(1000) {
+		t.Fatal("fresh event fired")
+	}
+	if c.Event(1600) { // second event arrives late; oldest is at 1000
+		// 1600-1000 >= 500: fires on the event itself.
+	} else {
+		t.Fatal("timeout measured from wrong event")
+	}
+}
+
+func TestCoalescerPollEmpty(t *testing.T) {
+	c := NewCoalescer(1, 1)
+	if c.Poll(1 << 40) {
+		t.Error("empty coalescer fired")
+	}
+}
+
+func TestCoalescerHighRateBursts(t *testing.T) {
+	// At high event rates the count trigger dominates and interrupts are
+	// 1/MaxEvents of completions — the amortization the paper relies on.
+	c := NewCoalescer(32, 100000)
+	for i := 0; i < 3200; i++ {
+		c.Event(uint64(i)) // one event per cycle: very high rate
+	}
+	if c.Interrupts != 100 {
+		t.Errorf("interrupts = %d, want 100 (3200/32)", c.Interrupts)
+	}
+	// At low rates the timeout dominates and every event gets service
+	// within MaxWaitCycles.
+	c = NewCoalescer(32, 100)
+	fired := 0
+	for i := 0; i < 10; i++ {
+		now := uint64(i * 1000) // sparse events
+		c.Event(now)
+		if c.Poll(now + 100) {
+			fired++
+		}
+	}
+	if fired != 10 {
+		t.Errorf("low-rate fires = %d, want 10 (latency bound)", fired)
+	}
+}

@@ -1,0 +1,209 @@
+package driver
+
+import (
+	"fmt"
+
+	"riommu/internal/device"
+	"riommu/internal/dma"
+	"riommu/internal/mem"
+	"riommu/internal/pci"
+)
+
+// NVMeDriver is the OS block driver for the NVMe model: it owns a queue
+// pair (mapped persistently for the device, like NIC descriptor rings),
+// maps one single-use IOVA per command's data buffer, and unmaps completed
+// commands in completion-burst order — the same intra-OS protection
+// discipline as the NIC path, which is exactly why §4 argues rIOMMU covers
+// NVMe: commands are consumed strictly in queue order.
+type NVMeDriver struct {
+	mm   *mem.PhysMem
+	prot Protection
+	ssd  *device.NVMe
+	q    *device.NVMeQueuePair
+	pool *BufferPool
+
+	staticIOVAs []mapped
+	pending     map[uint32]nvmeCmd // cid -> in-flight state
+	order       []uint32           // submission order (== completion order)
+	seen        uint32             // completions consumed
+
+	// Statistics.
+	Submitted, Completed uint64
+}
+
+type nvmeCmd struct {
+	m      mapped
+	isRead bool
+	length uint32
+}
+
+// NVMeCompletion is one finished command returned by Poll.
+type NVMeCompletion struct {
+	CID    uint32
+	Status uint32
+	// Data holds the payload for completed reads.
+	Data []byte
+}
+
+// NewNVMeDriver allocates and maps a queue pair of the given depth and
+// binds it to an NVMe device model with blockSize × blocks of storage.
+func NewNVMeDriver(mm *mem.PhysMem, prot Protection, eng *dma.Engine, bdf pci.BDF, blockSize uint32, blocks uint64, depth uint32) (*NVMeDriver, error) {
+	q, err := device.NewNVMeQueuePair(mm, depth)
+	if err != nil {
+		return nil, err
+	}
+	d := &NVMeDriver{
+		mm:      mm,
+		prot:    prot,
+		ssd:     device.NewNVMe(bdf, eng, blockSize, blocks),
+		q:       q,
+		pool:    NewBufferPool(mm, mem.PageSize),
+		pending: make(map[uint32]nvmeCmd),
+	}
+	// Persistently map the SQ and CQ (static ring table, as for NICs).
+	sqIOVA, err := prot.Map(RingStatic, q.SQPA(), q.SQBytes(), pci.DirBidi)
+	if err != nil {
+		return nil, fmt.Errorf("driver: mapping NVMe SQ: %w", err)
+	}
+	cqIOVA, err := prot.Map(RingStatic, q.CQPA(), q.CQBytes(), pci.DirBidi)
+	if err != nil {
+		return nil, fmt.Errorf("driver: mapping NVMe CQ: %w", err)
+	}
+	q.SetDeviceAddrs(sqIOVA, cqIOVA)
+	d.staticIOVAs = []mapped{
+		{pa: q.SQPA(), iova: sqIOVA, size: q.SQBytes()},
+		{pa: q.CQPA(), iova: cqIOVA, size: q.CQBytes()},
+	}
+	return d, nil
+}
+
+// Device exposes the SSD model (tests, fault injection).
+func (d *NVMeDriver) Device() *device.NVMe { return d.ssd }
+
+// Queue exposes the queue pair.
+func (d *NVMeDriver) Queue() *device.NVMeQueuePair { return d.q }
+
+// Write submits a write of data (at most one page) at the given block.
+// The buffer is mapped just before submission (Figure 4's discipline).
+func (d *NVMeDriver) Write(block uint64, data []byte) (uint32, error) {
+	if len(data) == 0 || len(data) > mem.PageSize {
+		return 0, fmt.Errorf("driver: NVMe write of %d bytes (want 1..%d)", len(data), mem.PageSize)
+	}
+	pa, err := d.pool.Get()
+	if err != nil {
+		return 0, err
+	}
+	if err := d.mm.Write(pa, data); err != nil {
+		return 0, err
+	}
+	return d.submit(pa, block, uint32(len(data)), device.NVMeOpWrite, false)
+}
+
+// Read submits a read of length bytes (at most one page) from block.
+func (d *NVMeDriver) Read(block uint64, length uint32) (uint32, error) {
+	if length == 0 || length > mem.PageSize {
+		return 0, fmt.Errorf("driver: NVMe read of %d bytes", length)
+	}
+	pa, err := d.pool.Get()
+	if err != nil {
+		return 0, err
+	}
+	return d.submit(pa, block, length, device.NVMeOpRead, true)
+}
+
+func (d *NVMeDriver) submit(pa mem.PA, block uint64, length uint32, op uint32, isRead bool) (uint32, error) {
+	dir := pci.DirToDevice
+	if isRead {
+		dir = pci.DirFromDevice
+	}
+	iova, err := d.prot.Map(RingRx, pa, length, dir)
+	if err != nil {
+		d.pool.Put(pa)
+		return 0, err
+	}
+	cid, err := d.q.Submit(iova, block, length, op)
+	if err != nil {
+		uerr := d.prot.Unmap(RingRx, iova, length, true)
+		d.pool.Put(pa)
+		if uerr != nil {
+			return 0, uerr
+		}
+		return 0, err
+	}
+	d.pending[cid] = nvmeCmd{m: mapped{pa: pa, iova: iova, size: length}, isRead: isRead, length: length}
+	d.order = append(d.order, cid)
+	d.Submitted++
+	return cid, nil
+}
+
+// Poll lets the device consume up to max commands, then reaps every new
+// completion: buffers are unmapped in completion order with the
+// end-of-burst marker on the last one, and read payloads are copied out
+// before their buffers return to the pool.
+func (d *NVMeDriver) Poll(max int) ([]NVMeCompletion, error) {
+	if _, err := d.ssd.ProcessSQ(d.q, max); err != nil {
+		return nil, err
+	}
+	var done []NVMeCompletion
+	for {
+		c, ok, err := d.q.ReapCompletion(d.seen)
+		if err != nil {
+			return done, err
+		}
+		if !ok {
+			break
+		}
+		d.seen++
+		cmd, known := d.pending[c.CID]
+		if !known {
+			return done, fmt.Errorf("driver: completion for unknown cid %d", c.CID)
+		}
+		// NVMe queues complete strictly in submission order (§4) — the
+		// property that makes rIOMMU's sequential flat tables applicable.
+		// A violation means the device model is broken.
+		if len(d.order) <= len(done) || d.order[len(done)] != c.CID {
+			return done, fmt.Errorf("driver: out-of-order NVMe completion: cid %d", c.CID)
+		}
+		out := NVMeCompletion{CID: c.CID, Status: c.Status}
+		if cmd.isRead && c.Status == device.NVMeStatusOK {
+			data, err := d.mm.Read(cmd.m.pa, uint64(cmd.length))
+			if err != nil {
+				return done, err
+			}
+			out.Data = data
+		}
+		done = append(done, out)
+	}
+	// Unmap the burst in completion order; burst-end on the last.
+	for i, c := range done {
+		cmd := d.pending[c.CID]
+		if err := d.prot.Unmap(RingRx, cmd.m.iova, cmd.m.size, i == len(done)-1); err != nil {
+			return done, fmt.Errorf("driver: NVMe unmap cid %d: %w", c.CID, err)
+		}
+		d.pool.Put(cmd.m.pa)
+		delete(d.pending, c.CID)
+		d.Completed++
+	}
+	if len(done) > 0 {
+		d.order = d.order[len(done):]
+	}
+	return done, nil
+}
+
+// Teardown unmaps everything, including the persistent queue mappings.
+func (d *NVMeDriver) Teardown() error {
+	if len(d.pending) > 0 {
+		if _, err := d.Poll(int(d.q.Entries())); err != nil {
+			return err
+		}
+	}
+	for i, m := range d.staticIOVAs {
+		if err := d.prot.Unmap(RingStatic, m.iova, m.size, i == len(d.staticIOVAs)-1); err != nil {
+			return err
+		}
+	}
+	if err := d.q.Free(); err != nil {
+		return err
+	}
+	return d.pool.Destroy()
+}

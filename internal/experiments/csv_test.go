@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+func readCSV(t *testing.T, path string) [][]string {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func TestFigure7CSV(t *testing.T) {
+	r, err := RunFigure7(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := r.CSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	rows := readCSV(t, filepath.Join(dir, "figure7.csv"))
+	if len(rows) != 1+7 { // header + seven modes
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0][0] != "mode" || rows[0][5] != "total" {
+		t.Errorf("header = %v", rows[0])
+	}
+	// The none row: zero IOMMU components, total = 1816.
+	last := rows[len(rows)-1]
+	if last[0] != "none" {
+		t.Fatalf("last mode = %s", last[0])
+	}
+	if last[1] != "0.00" || last[3] != "0.00" {
+		t.Errorf("none row has IOMMU cycles: %v", last)
+	}
+	if total, _ := strconv.ParseFloat(last[5], 64); total != 1816 {
+		t.Errorf("none total = %v", last[5])
+	}
+	// Stacks sum to totals on every row.
+	for _, row := range rows[1:] {
+		var sum float64
+		for _, col := range row[1:5] {
+			v, err := strconv.ParseFloat(col, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += v
+		}
+		total, _ := strconv.ParseFloat(row[5], 64)
+		if diff := sum - total; diff > 1 || diff < -1 {
+			t.Errorf("%s: stack sum %.2f != total %.2f", row[0], sum, total)
+		}
+	}
+}
+
+func TestFigure8CSV(t *testing.T) {
+	r, err := RunFigure8(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := r.CSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	rows := readCSV(t, filepath.Join(dir, "figure8.csv"))
+	series := map[string]int{}
+	for _, row := range rows[1:] {
+		series[row[0]]++
+	}
+	if series["model"] == 0 || series["busywait"] == 0 || series["mode"] != 7 {
+		t.Errorf("series counts = %v", series)
+	}
+}
+
+func TestExportCSVEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	if err := ExportCSV(dir, Quick); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"figure7.csv", "figure8.csv", "figure12_mlx.csv", "figure12_brcm.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("missing %s: %v", name, err)
+		}
+	}
+	rows := readCSV(t, filepath.Join(dir, "figure12_brcm.csv"))
+	if len(rows) != 1+5*7 { // header + 5 benchmarks x 7 modes
+		t.Errorf("figure12_brcm rows = %d, want %d", len(rows), 1+5*7)
+	}
+}
+
+func TestWriteCSVBadDir(t *testing.T) {
+	err := WriteCSV("/dev/null/impossible", "x", []string{"a"}, nil)
+	if err == nil {
+		t.Error("expected error for uncreatable directory")
+	}
+}

@@ -1,0 +1,84 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§3, §5) from the simulated systems:
+//
+//	Table 1   — cycle breakdown of map/unmap per protection mode
+//	Figure 7  — cycles per packet per mode, stacked by component
+//	Figure 8  — Gbps(C) model curve vs busy-wait sweep vs mode points
+//	Figure 12 — throughput and CPU for 5 benchmarks × 7 modes × 2 NICs
+//	Table 2   — normalized rIOMMU ratios derived from Figure 12
+//	Table 3   — Netperf RR round-trip times
+//	§5.3      — IOTLB miss penalty under user-level polling I/O
+//	§5.4      — TLB prefetcher comparison on DMA traces
+//	§4        — Bonnie++/SATA applicability check
+//
+// Each experiment returns structured results plus a paper-style rendering.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Quality selects run lengths: Quick for tests/CI, Full for the numbers
+// recorded in EXPERIMENTS.md.
+type Quality int
+
+// Quality levels.
+const (
+	Quick Quality = iota
+	Full
+)
+
+// scale returns n for Full quality and a reduced count for Quick.
+func (q Quality) scale(quick, full int) int {
+	if q == Full {
+		return full
+	}
+	return quick
+}
+
+// Experiment is a registered, runnable reproduction of one table/figure.
+type Experiment struct {
+	ID    string
+	Title string
+	// Paper summarizes what the paper reports for this experiment.
+	Paper string
+	Run   func(q Quality) (string, error)
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("experiments: duplicate id " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// All returns every registered experiment sorted by ID.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		return Experiment{}, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, ids())
+	}
+	return e, nil
+}
+
+func ids() []string {
+	var out []string
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

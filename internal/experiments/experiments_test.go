@@ -1,0 +1,357 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"riommu/internal/sim"
+)
+
+// within asserts got is within frac (e.g. 0.5 = ±50%) of want.
+func within(t *testing.T, name string, got, want, frac float64) {
+	t.Helper()
+	if want == 0 {
+		return
+	}
+	if math.Abs(got-want)/want > frac {
+		t.Errorf("%s = %.1f, paper %.1f (outside ±%.0f%%)", name, got, want, frac*100)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	want := []string{"ablations", "bonnie", "figure12", "figure7", "figure8", "methodology", "misspenalty", "nvme", "pathology", "prefetchers", "table1", "table2", "table3"}
+	if len(all) != len(want) {
+		t.Fatalf("registered %d experiments, want %d", len(all), len(want))
+	}
+	for i, e := range all {
+		if e.ID != want[i] {
+			t.Errorf("experiment %d = %s, want %s", i, e.ID, want[i])
+		}
+		if e.Title == "" || e.Paper == "" || e.Run == nil {
+			t.Errorf("%s: incomplete registration", e.ID)
+		}
+	}
+	if _, err := Lookup("table1"); err != nil {
+		t.Error(err)
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Error("Lookup of unknown id should fail")
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	r, err := RunTable1(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hard anchors measured directly from hardware in the paper.
+	if got := r.UnmapInv[sim.Strict]; got != 2127 {
+		t.Errorf("strict iotlb inv = %.0f, want 2127", got)
+	}
+	if got := r.UnmapInv[sim.Defer]; got != 9 {
+		t.Errorf("defer iotlb inv = %.0f, want 9", got)
+	}
+	// Component values within tolerance of Table 1.
+	within(t, "strict iova alloc", r.MapAlloc[sim.Strict], 3986, 0.5)
+	within(t, "strict+ iova alloc", r.MapAlloc[sim.StrictPlus], 92, 0.05)
+	within(t, "strict page table", r.MapPT[sim.Strict], 588, 0.15)
+	within(t, "strict iova find", r.UnmapFind[sim.Strict], 249, 0.30)
+	within(t, "strict iova free", r.UnmapFree[sim.Strict], 159, 0.15)
+	within(t, "strict unmap pt", r.UnmapPT[sim.Strict], 438, 0.15)
+	within(t, "strict+ iova find", r.UnmapFind[sim.StrictPlus], 418, 0.40)
+	within(t, "defer unmap other", r.UnmapOther[sim.Defer], 205, 0.25)
+	// Structural relations the paper highlights.
+	if r.MapAlloc[sim.Strict] <= r.MapAlloc[sim.Defer] {
+		t.Error("bulk dealloc should reduce the alloc pathology (defer < strict)")
+	}
+	if r.UnmapFind[sim.StrictPlus] <= r.UnmapFind[sim.Strict] {
+		t.Error("strict+ tree is fuller: its iova find should cost more")
+	}
+	if out := r.Render(); !strings.Contains(out, "iotlb inv") {
+		t.Error("render missing rows")
+	}
+}
+
+func TestFigure7Shape(t *testing.T) {
+	r, err := RunFigure7(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CNone != Figure7PaperCNone {
+		t.Errorf("C_none = %.0f, want %.0f", r.CNone, Figure7PaperCNone)
+	}
+	// The paper's headline: C_strict ≈ 9.4x C_none, C_defer+ ≥ 3.3x.
+	ratio := r.Total[sim.Strict] / r.CNone
+	if ratio < 7 || ratio > 12 {
+		t.Errorf("C_strict/C_none = %.1f, want ≈9.4", ratio)
+	}
+	if r.Total[sim.DeferPlus]/r.CNone < 2.5 {
+		t.Errorf("C_defer+/C_none = %.1f, want ≥ 2.5 (paper 3.3)", r.Total[sim.DeferPlus]/r.CNone)
+	}
+	// Strict's invalidation bar dominates its unmap side; none has zero
+	// IOMMU components.
+	if r.Inv[sim.Strict] < 2000 {
+		t.Errorf("strict inv component = %.0f", r.Inv[sim.Strict])
+	}
+	for _, comp := range []map[sim.Mode]float64{r.IOVA, r.PageTable, r.Inv} {
+		if comp[sim.None] != 0 {
+			t.Error("none mode has IOMMU component cycles")
+		}
+	}
+	if !strings.Contains(r.Render(), "rel. to none") {
+		t.Error("render broken")
+	}
+}
+
+func TestFigure8ModelCoincides(t *testing.T) {
+	r, err := RunFigure8(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Curve) == 0 || len(r.Sweep) < 4 || len(r.Modes) != 7 {
+		t.Fatalf("series sizes: curve=%d sweep=%d modes=%d", len(r.Curve), len(r.Sweep), len(r.Modes))
+	}
+	// The paper's point: the model coincides with both the busy-wait sweep
+	// and the per-mode measurements (within a few percent).
+	for _, p := range append(append([]Figure8Point{}, r.Sweep...), r.Modes...) {
+		if p.ModelGbs == 0 {
+			continue
+		}
+		if math.Abs(p.MeasuredGbs-p.ModelGbs)/p.ModelGbs > 0.02 {
+			t.Errorf("%s: measured %.2f vs model %.2f", p.Label, p.MeasuredGbs, p.ModelGbs)
+		}
+	}
+	// Busy-wait monotonicity: more per-packet cycles, less throughput.
+	for i := 0; i+1 < len(r.Sweep); i++ {
+		if r.Sweep[i].MeasuredGbs <= r.Sweep[i+1].MeasuredGbs {
+			t.Error("busy-wait sweep should decrease throughput")
+		}
+	}
+	if !strings.Contains(r.Render(), "busywait") {
+		t.Error("render broken")
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	r, err := RunTable3(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nic := range []string{"mlx", "brcm"} {
+		// Anchored within 15% of the paper's RTTs across all modes.
+		for _, m := range r.Modes {
+			within(t, nic+"/"+m.String()+" rtt", r.RTT[nic][m], Table3Paper[nic][m], 0.25)
+		}
+	}
+	if !strings.Contains(r.Render(), "13.4") {
+		t.Error("render missing paper anchors")
+	}
+}
+
+func TestMissPenalty(t *testing.T) {
+	r, err := RunMissPenalty(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within(t, "miss penalty", r.MissPenaltyCycles, PaperMissPenaltyCycles, 0.1)
+	if r.MissPenaltyMicros < 0.4 || r.MissPenaltyMicros > 0.6 {
+		t.Errorf("miss penalty = %.2f us, paper ~0.5", r.MissPenaltyMicros)
+	}
+	// rIOMMU: in-order access is essentially free; random pays one DRAM
+	// fetch, still well below the radix-walk penalty.
+	if r.RInOrderCycles > 10 {
+		t.Errorf("riommu in-order cycles/send = %.1f, want ~0", r.RInOrderCycles)
+	}
+	if r.RRandomCycles >= r.MissPenaltyCycles/2 {
+		t.Errorf("riommu random fetch (%.0f) should be far below the baseline miss (%.0f)",
+			r.RRandomCycles, r.MissPenaltyCycles)
+	}
+	if !strings.Contains(r.Render(), "miss penalty") {
+		t.Error("render broken")
+	}
+}
+
+func TestPrefetchersFindings(t *testing.T) {
+	r, err := RunPrefetchers(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := r.Histories[len(r.Histories)-1]
+	small := r.Histories[0]
+	// Finding 1: baseline variants ineffective.
+	for name, rate := range r.BaselineHitRates {
+		if rate > 0.15 {
+			t.Errorf("baseline %s hit rate = %.2f, want ~0", name, rate)
+		}
+	}
+	// Finding 2: Markov and Recency predict most accesses only with
+	// history above the ring's live set.
+	for _, name := range []string{"markov", "recency"} {
+		if r.HitRates[name][big] < 0.55 {
+			t.Errorf("%s with big history = %.2f, want most accesses", name, r.HitRates[name][big])
+		}
+		if r.HitRates[name][small] > r.HitRates[name][big]/2 {
+			t.Errorf("%s small-history rate %.2f should be well below big-history %.2f",
+				name, r.HitRates[name][small], r.HitRates[name][big])
+		}
+	}
+	// Finding 3: Distance remains ineffective.
+	if r.HitRates["distance"][big] > 0.3 {
+		t.Errorf("distance = %.2f, want ineffective", r.HitRates["distance"][big])
+	}
+	// Reference: the rIOTLB predicts essentially all sequential accesses
+	// with 2 entries per ring.
+	if r.RIOTLBHitRate < 0.95 {
+		t.Errorf("rIOTLB prediction rate = %.2f, want ~1", r.RIOTLBHitRate)
+	}
+	if r.RIOTLBEntries != 2 {
+		t.Errorf("rIOTLB entries = %d, want 2", r.RIOTLBEntries)
+	}
+	if !strings.Contains(r.Render(), "markov") {
+		t.Error("render broken")
+	}
+}
+
+func TestAblations(t *testing.T) {
+	r, err := RunAblations(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A: invalidation amortization — burst 200 must be far cheaper than
+	// burst 1, and within ~15% of the burst-32 plateau (§4's claim that
+	// ~200 iterations make invalidations negligible).
+	if r.BurstC[1] < r.BurstC[200]*1.5 {
+		t.Errorf("burst-1 C=%.0f should far exceed burst-200 C=%.0f", r.BurstC[1], r.BurstC[200])
+	}
+	if r.BurstC[200] > r.BurstC[32]*1.05 {
+		t.Errorf("burst 200 (%.0f) should sit on the amortization plateau (%.0f)", r.BurstC[200], r.BurstC[32])
+	}
+	// B: larger defer batches buy cycles (monotone decrease).
+	for i := 0; i+1 < len(r.DeferBatches); i++ {
+		a, b := r.DeferBatches[i], r.DeferBatches[i+1]
+		if r.DeferC[a] <= r.DeferC[b] {
+			t.Errorf("defer batch %d C=%.0f should exceed batch %d C=%.0f", a, r.DeferC[a], b, r.DeferC[b])
+		}
+	}
+	// C: prefetching eliminates almost all device-side flat-table fetches.
+	if r.FetchesWith*10 >= r.FetchesWithout {
+		t.Errorf("prefetch on: %d fetches vs off: %d — expected >=10x reduction",
+			r.FetchesWith, r.FetchesWithout)
+	}
+	if r.PrefetchHitRate < 0.95 {
+		t.Errorf("prediction rate %.2f", r.PrefetchHitRate)
+	}
+	// D: N >= L never overflows; N < L overflows exactly the shortfall.
+	if r.Overflows[64] != 0 || r.Overflows[128] != 0 {
+		t.Error("adequately sized tables overflowed")
+	}
+	if r.Overflows[16] != 48 || r.Overflows[32] != 32 {
+		t.Errorf("undersized overflow counts = %v", r.Overflows)
+	}
+	if !strings.Contains(r.Render(), "Ablation D") {
+		t.Error("render broken")
+	}
+}
+
+func TestMethodologyValidation(t *testing.T) {
+	r, err := RunMethodology(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// HWpt and SWpt are identical in every metric (§5.1).
+	if r.StreamGbps[sim.HWpt] != r.StreamGbps[sim.SWpt] {
+		t.Errorf("HWpt stream %.2f != SWpt %.2f", r.StreamGbps[sim.HWpt], r.StreamGbps[sim.SWpt])
+	}
+	if r.RRMicros[sim.HWpt] != r.RRMicros[sim.SWpt] {
+		t.Errorf("HWpt rtt %.2f != SWpt %.2f", r.RRMicros[sim.HWpt], r.RRMicros[sim.SWpt])
+	}
+	// Stream trails none by ~10% (the abstraction overhead)...
+	ratio := r.StreamGbps[sim.HWpt] / r.StreamGbps[sim.None]
+	if ratio < 0.85 || ratio > 0.95 {
+		t.Errorf("HWpt/none stream = %.2f, paper ~0.90", ratio)
+	}
+	// ...while RR is essentially identical to none (latencies hide it).
+	if d := r.RRMicros[sim.HWpt] - r.RRMicros[sim.None]; d < 0 || d > 0.3 {
+		t.Errorf("HWpt rtt exceeds none by %.2f us, want ~0", d)
+	}
+	// And SWpt really does walk tables.
+	if r.SWptMisses == 0 {
+		t.Error("SWpt produced no IOTLB misses — not exercising walks")
+	}
+	if !strings.Contains(r.Render(), "HWpt/none") {
+		t.Error("render broken")
+	}
+}
+
+func TestPathologyScalesLinearly(t *testing.T) {
+	r, err := RunPathology(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The worst gap-search walk tracks the live-set size (§3.2: "linear in
+	// the number of currently allocated IOVAs").
+	for _, live := range r.LiveSets {
+		walk := float64(r.MaxWalkNodes[live])
+		if walk < float64(live)*0.8 {
+			t.Errorf("live=%d: worst walk %d nodes — pathology should be ~linear in live set", live, r.MaxWalkNodes[live])
+		}
+	}
+	// Average alloc cost grows monotonically with the live set.
+	for i := 0; i+1 < len(r.LiveSets); i++ {
+		a, b := r.LiveSets[i], r.LiveSets[i+1]
+		if r.AvgAllocCycles[a] >= r.AvgAllocCycles[b] {
+			t.Errorf("avg alloc (live=%d) %.0f should be below (live=%d) %.0f",
+				a, r.AvgAllocCycles[a], b, r.AvgAllocCycles[b])
+		}
+	}
+	// The "+" allocator is flat and matches the paper's 92 cycles.
+	if r.ConstAllocCycles != 92 {
+		t.Errorf("const alloc = %.0f cycles, want 92", r.ConstAllocCycles)
+	}
+	if !strings.Contains(r.Render(), "constant-time") {
+		t.Error("render broken")
+	}
+}
+
+func TestNVMeExtension(t *testing.T) {
+	r, err := RunNVMe(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// rIOMMU (and the unsafe modes) saturate the drive; strict cannot.
+	for _, m := range []sim.Mode{sim.RIOMMU, sim.RIOMMUMinus, sim.None} {
+		if r.KIOPS[m] < r.DriveKIOPS*0.99 {
+			t.Errorf("%s: %.0fK IOPS, want drive-capped %.0fK", m, r.KIOPS[m], r.DriveKIOPS)
+		}
+	}
+	if r.KIOPS[sim.Strict] >= r.DriveKIOPS*0.95 {
+		t.Errorf("strict: %.0fK IOPS — should fall short of the drive cap", r.KIOPS[sim.Strict])
+	}
+	// Cost ordering holds for storage too.
+	order := []sim.Mode{sim.Strict, sim.StrictPlus, sim.Defer, sim.DeferPlus, sim.RIOMMUMinus, sim.RIOMMU, sim.None}
+	for i := 0; i+1 < len(order); i++ {
+		if r.CyclesPerOp[order[i]] <= r.CyclesPerOp[order[i+1]] {
+			t.Errorf("cycles/op(%s)=%.0f should exceed %s=%.0f", order[i],
+				r.CyclesPerOp[order[i]], order[i+1], r.CyclesPerOp[order[i+1]])
+		}
+	}
+	if !strings.Contains(r.Render(), "IOPS") {
+		t.Error("render broken")
+	}
+}
+
+func TestBonnieIndistinguishable(t *testing.T) {
+	r, err := RunBonnie(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := r.MBps[sim.Strict] / r.MBps[sim.None]
+	if ratio < 0.95 || ratio > 1.0 {
+		t.Errorf("bonnie strict/none = %.3f, want ≈1", ratio)
+	}
+	if !strings.Contains(r.Render(), "MB/s") {
+		t.Error("render broken")
+	}
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"riommu/internal/device"
+	"riommu/internal/sim"
+	"riommu/internal/stats"
+	"riommu/internal/workload"
+)
+
+// BenchKey identifies one benchmark on one NIC.
+type BenchKey struct {
+	Bench string
+	NIC   string
+}
+
+// Figure12Result holds every cell of Figure 12: throughput and CPU per
+// benchmark per NIC per mode.
+type Figure12Result struct {
+	NICs    []device.NICProfile
+	Benches []string
+	Modes   []sim.Mode
+	Cells   map[BenchKey]map[sim.Mode]workload.Result
+}
+
+// RunFigure12 measures all five benchmarks on both NIC profiles in all
+// seven modes.
+func RunFigure12(q Quality) (Figure12Result, error) {
+	res := Figure12Result{
+		NICs:    []device.NICProfile{device.ProfileMLX, device.ProfileBRCM},
+		Benches: []string{"stream", "rr", "apache-1M", "apache-1K", "memcached"},
+		Modes:   sim.AllModes(),
+		Cells:   map[BenchKey]map[sim.Mode]workload.Result{},
+	}
+	streamOpts := workload.StreamOpts{Messages: q.scale(100, 300), WarmupMessages: q.scale(50, 120)}
+	rrOpts := workload.RROpts{Transactions: q.scale(300, 1500), Warmup: q.scale(80, 300)}
+	ap1M := workload.ApacheOpts{FileBytes: 1 << 20, Requests: q.scale(6, 20), Warmup: 2}
+	ap1K := workload.ApacheOpts{FileBytes: 1024, Requests: q.scale(100, 300), Warmup: q.scale(30, 80)}
+	memOpts := workload.MemcachedOpts{Operations: q.scale(400, 1500), Warmup: q.scale(120, 400)}
+
+	for _, nic := range res.NICs {
+		runners := map[string]func(sim.Mode) (workload.Result, error){
+			"stream":    func(m sim.Mode) (workload.Result, error) { return workload.NetperfStream(m, nic, streamOpts) },
+			"rr":        func(m sim.Mode) (workload.Result, error) { return workload.NetperfRR(m, nic, rrOpts) },
+			"apache-1M": func(m sim.Mode) (workload.Result, error) { return workload.Apache(m, nic, ap1M) },
+			"apache-1K": func(m sim.Mode) (workload.Result, error) { return workload.Apache(m, nic, ap1K) },
+			"memcached": func(m sim.Mode) (workload.Result, error) { return workload.Memcached(m, nic, memOpts) },
+		}
+		for _, bench := range res.Benches {
+			key := BenchKey{Bench: bench, NIC: nic.Name}
+			res.Cells[key] = map[sim.Mode]workload.Result{}
+			for _, m := range res.Modes {
+				r, err := runners[bench](m)
+				if err != nil {
+					return res, fmt.Errorf("%s/%s/%s: %w", nic.Name, bench, m, err)
+				}
+				res.Cells[key][m] = r
+			}
+		}
+	}
+	return res, nil
+}
+
+// Render prints one table per NIC with throughput and CPU per benchmark.
+func (r Figure12Result) Render() string {
+	var b strings.Builder
+	for _, nic := range r.NICs {
+		t := stats.NewTable(
+			fmt.Sprintf("Figure 12 (%s). Throughput and CPU consumption per mode", nic.Name),
+			"benchmark", "unit", "metric", "strict", "strict+", "defer", "defer+", "riommu-", "riommu", "none")
+		t.AlignLeft(1).AlignLeft(2)
+		for _, bench := range r.Benches {
+			cells := r.Cells[BenchKey{Bench: bench, NIC: nic.Name}]
+			tput := []string{bench, cells[sim.None].Unit, "tput"}
+			cpu := []string{"", "%", "cpu"}
+			for _, m := range r.Modes {
+				tput = append(tput, fmt.Sprintf("%.4g", cells[m].Throughput))
+				cpu = append(cpu, fmt.Sprintf("%.0f", cells[m].CPU*100))
+			}
+			t.RowStrings(tput)
+			t.RowStrings(cpu)
+		}
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func init() {
+	register(Experiment{
+		ID:    "figure12",
+		Title: "Figure 12: throughput and CPU for all benchmarks, modes and NICs",
+		Paper: "mlx/stream: riommu 0.77x none, 7.56x strict; brcm: all modes but strict saturate 10GbE; rr/apache-1K/memcached per §5.2",
+		Run: func(q Quality) (string, error) {
+			r, err := RunFigure12(q)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		},
+	})
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"riommu/internal/sim"
+)
+
+// TestFigure12AndTable2 runs the full benchmark matrix once and checks the
+// normalized ratios against the paper's Table 2, with per-cell tolerance
+// bands. Stream cells are tight; the request-per-packet workloads carry the
+// documented strict-mode overshoot (EXPERIMENTS.md, divergence 2) and get
+// loose bands that still pin the ordering and rough magnitude.
+func TestFigure12AndTable2(t *testing.T) {
+	r, err := RunTable2(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(bench, nic string, vs sim.Mode, lo, hi float64) {
+		t.Helper()
+		key := BenchKey{Bench: bench, NIC: nic}
+		got := r.ThroughputRatio(key, sim.RIOMMU, vs)
+		if got < lo || got > hi {
+			t.Errorf("%s/%s riommu/%s = %.2f, want in [%.2f, %.2f] (paper %.2f)",
+				nic, bench, vs, got, lo, hi, Table2Paper[key][vs])
+		}
+	}
+
+	// mlx stream: the headline cells.
+	check("stream", "mlx", sim.Strict, 5.0, 10.0)   // paper 7.56
+	check("stream", "mlx", sim.DeferPlus, 2.0, 3.2) // paper 2.57
+	check("stream", "mlx", sim.None, 0.65, 0.85)    // paper 0.77
+	// brcm stream: saturation cells are exact 1.00 by construction.
+	check("stream", "brcm", sim.StrictPlus, 0.99, 1.01)
+	check("stream", "brcm", sim.None, 0.99, 1.01)
+	// brcm stream vs strict: the only non-saturating mode.
+	check("stream", "brcm", sim.Strict, 1.1, 2.3) // paper 2.17
+	// rr: modest everywhere.
+	check("rr", "mlx", sim.Strict, 1.1, 1.5)   // paper 1.25
+	check("rr", "brcm", sim.Strict, 1.0, 1.25) // paper 1.21
+	// apache-1K: computation-bound, modest.
+	check("apache-1K", "mlx", sim.None, 0.85, 1.0)  // paper 0.92
+	check("apache-1K", "brcm", sim.None, 0.85, 1.0) // paper 0.93
+	// memcached vs none.
+	check("memcached", "mlx", sim.None, 0.7, 1.0) // paper 0.83
+	// The documented overshoot cells: assert direction and floor only.
+	if got := r.ThroughputRatio(BenchKey{Bench: "memcached", NIC: "mlx"}, sim.RIOMMU, sim.Strict); got < 3 {
+		t.Errorf("mlx memcached riommu/strict = %.2f, want >> 1 (paper 4.88)", got)
+	}
+	if got := r.ThroughputRatio(BenchKey{Bench: "apache-1M", NIC: "mlx"}, sim.RIOMMU, sim.Strict); got < 3 {
+		t.Errorf("mlx apache-1M riommu/strict = %.2f, want >> 1 (paper 5.80)", got)
+	}
+
+	// CPU ratios at brcm saturation (Table 2's right half).
+	key := BenchKey{Bench: "stream", NIC: "brcm"}
+	if got := r.CPURatio(key, sim.RIOMMU, sim.None); got < 1.0 || got > 1.3 {
+		t.Errorf("brcm stream riommu/none cpu = %.2f (paper 1.09)", got)
+	}
+	if got := r.CPURatio(key, sim.RIOMMUMinus, sim.StrictPlus); math.Abs(got-0.50) > 0.15 {
+		t.Errorf("brcm stream riommu-/strict+ cpu = %.2f (paper 0.50)", got)
+	}
+
+	// Figure 12 rendering covers both NICs and all benchmarks.
+	out := r.Fig.Render()
+	for _, want := range []string{"Figure 12 (mlx)", "Figure 12 (brcm)", "stream", "memcached"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure12 render missing %q", want)
+		}
+	}
+	if !strings.Contains(r.Render(), "riommu divided by") {
+		t.Error("table2 render broken")
+	}
+}

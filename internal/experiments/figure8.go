@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+
+	"riommu/internal/cycles"
+	"riommu/internal/device"
+	"riommu/internal/perfmodel"
+	"riommu/internal/sim"
+	"riommu/internal/stats"
+	"riommu/internal/workload"
+)
+
+// Figure8Point is one (C, Gbps) sample.
+type Figure8Point struct {
+	Cycles   float64
+	ModelGbs float64
+	// MeasuredGbs is set for busy-wait sweep points and mode points.
+	MeasuredGbs float64
+	Label       string
+}
+
+// Figure8Result holds the model curve, the busy-wait validation sweep, and
+// the per-mode measured points of Figure 8.
+type Figure8Result struct {
+	Curve []Figure8Point // thick line: the Gbps(C) model
+	Sweep []Figure8Point // thin line: none-mode with busy-wait lengthened C
+	Modes []Figure8Point // cross points: the seven modes
+}
+
+// RunFigure8 regenerates Figure 8 on the mlx profile.
+func RunFigure8(q Quality) (Figure8Result, error) {
+	var res Figure8Result
+	model := cycles.DefaultModel()
+
+	// Model curve over the C range the paper plots (~1.8K..18K cycles).
+	for c := 1800.0; c <= 18200; c += 400 {
+		res.Curve = append(res.Curve, Figure8Point{
+			Cycles:   c,
+			ModelGbs: perfmodel.Gbps(model, c, device.ProfileMLX.LineRateGbps),
+		})
+	}
+
+	// Busy-wait sweep: systematically lengthen C_none with a controlled
+	// per-packet busy-wait loop, as §3.3 does, and measure throughput.
+	opts := workload.StreamOpts{
+		Messages:       q.scale(60, 200),
+		WarmupMessages: q.scale(20, 60),
+	}
+	for _, extra := range []uint64{0, 1000, 2000, 4000, 8000, 16000} {
+		r, err := workload.NetperfStreamBusyWait(sim.None, device.ProfileMLX, opts, extra)
+		if err != nil {
+			return res, err
+		}
+		res.Sweep = append(res.Sweep, Figure8Point{
+			Cycles:      r.CyclesPerUnit,
+			ModelGbs:    perfmodel.Gbps(model, r.CyclesPerUnit, device.ProfileMLX.LineRateGbps),
+			MeasuredGbs: r.Throughput,
+			Label:       fmt.Sprintf("busywait+%d", extra),
+		})
+	}
+
+	// Mode points.
+	for _, m := range sim.AllModes() {
+		r, err := workload.NetperfStream(m, device.ProfileMLX, opts)
+		if err != nil {
+			return res, err
+		}
+		res.Modes = append(res.Modes, Figure8Point{
+			Cycles:      r.CyclesPerUnit,
+			ModelGbs:    perfmodel.Gbps(model, r.CyclesPerUnit, device.ProfileMLX.LineRateGbps),
+			MeasuredGbs: r.Throughput,
+			Label:       m.String(),
+		})
+	}
+	return res, nil
+}
+
+// Render prints the sweep and mode points against the model.
+func (r Figure8Result) Render() string {
+	t := stats.NewTable(
+		"Figure 8. Netperf throughput vs cycles per packet: model vs measured",
+		"point", "C (cycles)", "model Gbps", "measured Gbps", "model err")
+	t.AlignLeft(0)
+	for _, p := range append(append([]Figure8Point{}, r.Sweep...), r.Modes...) {
+		errPct := 0.0
+		if p.ModelGbs > 0 {
+			errPct = (p.MeasuredGbs - p.ModelGbs) / p.ModelGbs * 100
+		}
+		t.Row(p.Label, p.Cycles, p.ModelGbs, p.MeasuredGbs, fmt.Sprintf("%+.1f%%", errPct))
+	}
+	return t.String()
+}
+
+func init() {
+	register(Experiment{
+		ID:    "figure8",
+		Title: "Figure 8: throughput as a function of cycles per packet",
+		Paper: "the Gbps(C)=1500B*8*S/C model coincides with busy-wait-lengthened runs and with all IOMMU-mode measurements",
+		Run: func(q Quality) (string, error) {
+			r, err := RunFigure8(q)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		},
+	})
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+
+	"riommu/internal/device"
+	"riommu/internal/sim"
+	"riommu/internal/stats"
+	"riommu/internal/workload"
+)
+
+// MethodologyResult reproduces the §5.1 validation of the paper's simulation
+// methodology using the two pass-through modes:
+//
+//   - HWpt: the IOMMU translates each IOVA to the identical physical address
+//     without consulting the IOTLB or page tables.
+//   - SWpt: a real page table maps all of physical memory identity, so every
+//     DMA misses and walks like a genuine translation.
+//
+// The paper found: (1) RR performance of HWpt and SWpt is identical — and
+// identical to no-IOMMU — because stack/interrupt latencies hide the IOTLB
+// miss penalty entirely; (2) stream throughput of both trails no-IOMMU by
+// ~10%, caused purely by ~200 cycles of kernel DMA-API abstraction code per
+// packet, not by translation activity. Together these justify simulating
+// IOMMU proposals by spending CPU cycles alone.
+type MethodologyResult struct {
+	Modes []sim.Mode // none, hwpt, swpt
+
+	StreamGbps map[sim.Mode]float64
+	StreamC    map[sim.Mode]float64
+	RRMicros   map[sim.Mode]float64
+
+	// SWptMisses counts the device-side IOTLB misses SWpt provokes — real
+	// walks that nonetheless do not move the throughput needle.
+	SWptMisses uint64
+}
+
+// RunMethodology measures stream and RR under none/HWpt/SWpt.
+func RunMethodology(q Quality) (MethodologyResult, error) {
+	res := MethodologyResult{
+		Modes:      []sim.Mode{sim.None, sim.HWpt, sim.SWpt},
+		StreamGbps: map[sim.Mode]float64{},
+		StreamC:    map[sim.Mode]float64{},
+		RRMicros:   map[sim.Mode]float64{},
+	}
+	streamOpts := workload.StreamOpts{Messages: q.scale(80, 250), WarmupMessages: q.scale(30, 80)}
+	rrOpts := workload.RROpts{Transactions: q.scale(300, 1500), Warmup: q.scale(80, 200)}
+
+	for _, m := range res.Modes {
+		st, err := workload.NetperfStream(m, device.ProfileMLX, streamOpts)
+		if err != nil {
+			return res, err
+		}
+		res.StreamGbps[m] = st.Throughput
+		res.StreamC[m] = st.CyclesPerUnit
+
+		rr, err := workload.NetperfRR(m, device.ProfileMLX, rrOpts)
+		if err != nil {
+			return res, err
+		}
+		res.RRMicros[m] = rr.LatencyMicros
+	}
+
+	// Count the SWpt walks directly: one short run with the stats read out.
+	sys, err := sim.NewSystem(sim.SWpt, workload.MemPages)
+	if err != nil {
+		return res, err
+	}
+	drv, _, err := sys.AttachNIC(device.ProfileMLX, workload.NICBDF)
+	if err != nil {
+		return res, err
+	}
+	payload := make([]byte, 1000)
+	for i := 0; i < 256; i++ {
+		if err := drv.Send(payload); err != nil {
+			return res, err
+		}
+	}
+	if _, err := drv.PumpTx(256); err != nil {
+		return res, err
+	}
+	if _, err := drv.ReapTx(); err != nil {
+		return res, err
+	}
+	res.SWptMisses = sys.BaseHW.TLB().Stats().Misses
+	return res, nil
+}
+
+// Render prints the validation table.
+func (r MethodologyResult) Render() string {
+	t := stats.NewTable(
+		"Sec 5.1. Methodology validation: pass-through modes vs no IOMMU (mlx)",
+		"mode", "stream Gbps", "C (cy/pkt)", "RR rtt (us)")
+	for _, m := range r.Modes {
+		t.Row(m.String(), r.StreamGbps[m], r.StreamC[m], r.RRMicros[m])
+	}
+	out := t.String()
+	out += fmt.Sprintf("HWpt/none stream = %.2f (paper ~0.90: ~200 abstraction cycles/packet)\n",
+		r.StreamGbps[sim.HWpt]/r.StreamGbps[sim.None])
+	out += fmt.Sprintf("SWpt provoked %d real IOTLB misses/walks without moving throughput (= HWpt)\n",
+		r.SWptMisses)
+	return out
+}
+
+func init() {
+	register(Experiment{
+		ID:    "methodology",
+		Title: "Sec 5.1: HWpt/SWpt methodology validation",
+		Paper: "HWpt == SWpt everywhere; RR identical to none; stream ~10% below none, caused by ~200 cycles of kernel abstraction, not translation",
+		Run: func(q Quality) (string, error) {
+			r, err := RunMethodology(q)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		},
+	})
+}

@@ -1,0 +1,243 @@
+package experiments
+
+import (
+	"fmt"
+
+	"riommu/internal/device"
+	"riommu/internal/driver"
+	"riommu/internal/mem"
+	"riommu/internal/netstack"
+	"riommu/internal/pci"
+	"riommu/internal/prefetch"
+	"riommu/internal/sim"
+	"riommu/internal/stats"
+	"riommu/internal/trace"
+	"riommu/internal/workload"
+)
+
+// PrefetchersResult reproduces §5.4: a single-use, ring-ordered DMA trace —
+// synthesized per the workload structure of §2.3 (pre-mapped Rx rings,
+// buffers used once and refilled, allocator drift, irregular Rx/Tx
+// interleaving) — is fed to the Markov/Recency/Distance TLB prefetchers in
+// baseline and modified forms at several history sizes. The rIOTLB's own
+// prefetching, measured from an actual rIOMMU run, is the reference.
+//
+// The result also reports hit rates on a trace *collected* from our
+// simulated netperf run. That trace is friendlier to the prefetchers than
+// the paper observed, because our transmit path allocates IOVAs in long
+// contiguous descending bursts that stay live together (a simulator
+// regularity real kernels' scattered allocations do not exhibit); the
+// divergence is documented in EXPERIMENTS.md.
+type PrefetchersResult struct {
+	TraceEvents int
+	RingLive    int // live IOVAs in the traced configuration
+
+	// HitRates[name][history] for the modified variants on the synthetic trace.
+	HitRates map[string]map[int]float64
+	// BaselineHitRates[name] with the largest history.
+	BaselineHitRates map[string]float64
+	// CollectedHitRates[name]: modified variants, largest history, on the
+	// trace recorded from the simulated netperf run.
+	CollectedHitRates map[string]float64
+	CollectedEvents   int
+
+	// RIOTLB prediction accuracy from the real rIOMMU run (prefetch hits /
+	// sequential-translation opportunities) and its per-ring entry count.
+	RIOTLBHitRate float64
+	RIOTLBEntries int
+	Histories     []int
+}
+
+// recordingProt wraps a Protection, logging map/unmap page events.
+type recordingProt struct {
+	inner driver.Protection
+	tr    *trace.Trace
+	bdf   pci.BDF
+}
+
+func (p *recordingProt) Map(ring int, pa mem.PA, size uint32, dir pci.Dir) (uint64, error) {
+	iova, err := p.inner.Map(ring, pa, size, dir)
+	if err == nil && ring != driver.RingStatic {
+		first := iova >> mem.PageShift
+		last := (iova + uint64(size) - 1) >> mem.PageShift
+		for pg := first; pg <= last; pg++ {
+			p.tr.Record(trace.EvMap, p.bdf, pg<<mem.PageShift, dir)
+		}
+	}
+	return iova, err
+}
+
+func (p *recordingProt) Unmap(ring int, iova uint64, size uint32, endOfBurst bool) error {
+	err := p.inner.Unmap(ring, iova, size, endOfBurst)
+	if err == nil && ring != driver.RingStatic {
+		if size == 0 {
+			size = 1
+		}
+		first := iova >> mem.PageShift
+		last := (iova + uint64(size) - 1) >> mem.PageShift
+		for pg := first; pg <= last; pg++ {
+			p.tr.Record(trace.EvUnmap, p.bdf, pg<<mem.PageShift, pci.DirNone)
+		}
+	}
+	return err
+}
+
+// CollectTrace runs a Netperf-stream-like workload on a strict-mode system
+// with both the translation path and the map/unmap path recorded.
+func CollectTrace(q Quality, profile device.NICProfile) (*trace.Trace, error) {
+	sys, err := sim.NewSystem(sim.Strict, workload.MemPages)
+	if err != nil {
+		return nil, err
+	}
+	bdf := pci.NewBDF(0, 3, 0)
+	tr := &trace.Trace{}
+
+	// Splice the recorder into the DMA path.
+	sys.Eng.SetTranslator(&trace.Recorder{Inner: sys.BaseHW, Trace: tr})
+	prot, err := sys.ProtectionFor(bdf, driver.RIOMMURingSizes(profile))
+	if err != nil {
+		return nil, err
+	}
+	drv, _, err := driver.NewNICDriver(sys.Mem, &recordingProt{inner: prot, tr: tr, bdf: bdf}, sys.Eng, profile, bdf)
+	if err != nil {
+		return nil, err
+	}
+	conn := netstack.NewConn(sys.CPU, drv, netstack.DefaultParams(profile))
+	for i := 0; i < q.scale(40, 150); i++ {
+		if err := conn.SendMessage(16 * 1024); err != nil {
+			return nil, err
+		}
+	}
+	if err := conn.Flush(); err != nil {
+		return nil, err
+	}
+	// Keep only the dynamically mapped buffer pages: descriptor-ring pages
+	// are persistently mapped and trivially IOTLB-resident, so including
+	// their fetches would mask the per-buffer behaviour §5.4 analyzes.
+	dynamic := map[uint64]bool{}
+	for _, e := range tr.Events {
+		if e.Kind == trace.EvMap {
+			dynamic[e.Page] = true
+		}
+	}
+	filtered := &trace.Trace{}
+	for _, e := range tr.Events {
+		if e.Kind != trace.EvTranslate || dynamic[e.Page] {
+			filtered.Events = append(filtered.Events, e)
+		}
+	}
+	return filtered, nil
+}
+
+// RunPrefetchers performs the §5.4 comparison on a small NIC configuration
+// (ring live-set ~1K pages) so the history sweep brackets the ring size.
+func RunPrefetchers(q Quality) (PrefetchersResult, error) {
+	profile := device.ProfileBRCM // 1 buffer/packet keeps the trace readable
+	profile.BufferBytes = 4096    // page-sized buffers: no page-sharing artifacts
+	const ringPages = 512
+	res := PrefetchersResult{
+		HitRates:          map[string]map[int]float64{},
+		BaselineHitRates:  map[string]float64{},
+		CollectedHitRates: map[string]float64{},
+		RingLive:          ringPages * 2,
+	}
+	tr := prefetch.SyntheticRingTrace(pci.NewBDF(0, 3, 0), ringPages, q.scale(4, 10), 2, 10)
+	res.TraceEvents = tr.Len()
+
+	res.Histories = []int{res.RingLive / 4, res.RingLive, res.RingLive * 4, res.RingLive * 16}
+	makers := map[string]func(prefetch.Config) prefetch.Prefetcher{
+		"markov":   func(c prefetch.Config) prefetch.Prefetcher { return prefetch.NewMarkov(c) },
+		"recency":  func(c prefetch.Config) prefetch.Prefetcher { return prefetch.NewRecency(c) },
+		"distance": func(c prefetch.Config) prefetch.Prefetcher { return prefetch.NewDistance(c) },
+	}
+	bigHist := res.Histories[len(res.Histories)-1]
+	for name, mk := range makers {
+		res.HitRates[name] = map[int]float64{}
+		for _, h := range res.Histories {
+			cfg := prefetch.Config{TLBEntries: 64, History: h, RetainInvalidated: true}
+			res.HitRates[name][h] = prefetch.Evaluate(mk(cfg), tr).HitRate()
+		}
+		base := prefetch.Config{TLBEntries: 64, History: bigHist, RetainInvalidated: false}
+		res.BaselineHitRates[name] = prefetch.Evaluate(mk(base), tr).HitRate()
+	}
+
+	// Observation: the same prefetchers on a trace collected from the
+	// simulated netperf run (see the type comment for why it is friendlier
+	// than the paper's traces).
+	collected, err := CollectTrace(q, profile)
+	if err != nil {
+		return res, err
+	}
+	res.CollectedEvents = collected.Len()
+	for name, mk := range makers {
+		cfg := prefetch.Config{TLBEntries: 64, History: bigHist, RetainInvalidated: true}
+		res.CollectedHitRates[name] = prefetch.Evaluate(mk(cfg), collected).HitRate()
+	}
+
+	// Reference: the real rIOMMU running the same workload.
+	{
+		sys, err := sim.NewSystem(sim.RIOMMU, workload.MemPages)
+		if err != nil {
+			return res, err
+		}
+		bdf := pci.NewBDF(0, 3, 0)
+		drv, _, err := sys.AttachNIC(profile, bdf)
+		if err != nil {
+			return res, err
+		}
+		conn := netstack.NewConn(sys.CPU, drv, netstack.DefaultParams(profile))
+		for i := 0; i < q.scale(40, 150); i++ {
+			if err := conn.SendMessage(16 * 1024); err != nil {
+				return res, err
+			}
+		}
+		if err := conn.Flush(); err != nil {
+			return res, err
+		}
+		st := sys.RHW.Stats()
+		if st.Translations > 0 {
+			// Sequential translations that could have been predicted: all
+			// but the per-burst leading fetches.
+			res.RIOTLBHitRate = float64(st.PrefetchHits) / float64(st.PrefetchHits+st.TableFetches)
+		}
+		res.RIOTLBEntries = 2 // current + prefetched next, per ring (§5.4)
+	}
+	return res, nil
+}
+
+// Render prints the comparison table.
+func (r PrefetchersResult) Render() string {
+	t := stats.NewTable(
+		fmt.Sprintf("Sec 5.4. TLB prefetcher hit rates on a DMA trace (%d events, ring live-set %d pages)", r.TraceEvents, r.RingLive),
+		"prefetcher", "baseline", fmt.Sprintf("hist=%d", r.Histories[0]), fmt.Sprintf("hist=%d", r.Histories[1]),
+		fmt.Sprintf("hist=%d", r.Histories[2]), fmt.Sprintf("hist=%d", r.Histories[3]))
+	for _, name := range []string{"markov", "recency", "distance"} {
+		row := []string{name, fmt.Sprintf("%.2f", r.BaselineHitRates[name])}
+		for _, h := range r.Histories {
+			row = append(row, fmt.Sprintf("%.2f", r.HitRates[name][h]))
+		}
+		t.RowStrings(row)
+	}
+	out := t.String()
+	out += fmt.Sprintf("rIOTLB (reference): %d entries per ring, prediction rate %.2f on sequential bursts\n",
+		r.RIOTLBEntries, r.RIOTLBHitRate)
+	out += fmt.Sprintf("collected netperf trace (%d events, hist=%d): markov %.2f recency %.2f distance %.2f (see EXPERIMENTS.md note)\n",
+		r.CollectedEvents, r.Histories[len(r.Histories)-1],
+		r.CollectedHitRates["markov"], r.CollectedHitRates["recency"], r.CollectedHitRates["distance"])
+	return out
+}
+
+func init() {
+	register(Experiment{
+		ID:    "prefetchers",
+		Title: "Sec 5.4: comparison against Markov/Recency/Distance TLB prefetchers",
+		Paper: "baseline prefetchers ineffective; modified Markov/Recency work only with history > ring; Distance ineffective; rIOTLB needs 2 entries/ring, always correct",
+		Run: func(q Quality) (string, error) {
+			r, err := RunPrefetchers(q)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		},
+	})
+}

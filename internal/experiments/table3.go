@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+
+	"riommu/internal/device"
+	"riommu/internal/sim"
+	"riommu/internal/stats"
+	"riommu/internal/workload"
+)
+
+// Table3Paper records the paper's RR round-trip times in microseconds.
+var Table3Paper = map[string]map[sim.Mode]float64{
+	"mlx": {
+		sim.Strict: 17.3, sim.StrictPlus: 15.1, sim.Defer: 14.9, sim.DeferPlus: 14.4,
+		sim.RIOMMUMinus: 14.1, sim.RIOMMU: 13.9, sim.None: 13.4,
+	},
+	"brcm": {
+		sim.Strict: 41.9, sim.StrictPlus: 36.7, sim.Defer: 36.6, sim.DeferPlus: 35.8,
+		sim.RIOMMUMinus: 35.1, sim.RIOMMU: 34.7, sim.None: 34.6,
+	},
+}
+
+// Table3Result holds measured RTTs in microseconds per NIC per mode.
+type Table3Result struct {
+	Modes []sim.Mode
+	RTT   map[string]map[sim.Mode]float64
+}
+
+// RunTable3 measures Netperf RR round-trip times for both NICs.
+func RunTable3(q Quality) (Table3Result, error) {
+	res := Table3Result{Modes: sim.AllModes(), RTT: map[string]map[sim.Mode]float64{}}
+	opts := workload.RROpts{Transactions: q.scale(400, 2000), Warmup: q.scale(100, 300)}
+	for _, nic := range []device.NICProfile{device.ProfileMLX, device.ProfileBRCM} {
+		res.RTT[nic.Name] = map[sim.Mode]float64{}
+		for _, m := range res.Modes {
+			r, err := workload.NetperfRR(m, nic, opts)
+			if err != nil {
+				return res, err
+			}
+			res.RTT[nic.Name][m] = r.LatencyMicros
+		}
+	}
+	return res, nil
+}
+
+// Render prints the paper-style RTT table with paper values alongside.
+func (r Table3Result) Render() string {
+	t := stats.NewTable(
+		"Table 3. Netperf RR round-trip time in microseconds (measured | paper)",
+		"nic", "strict", "strict+", "defer", "defer+", "riommu-", "riommu", "none")
+	for _, nic := range []string{"mlx", "brcm"} {
+		row := []string{nic}
+		for _, m := range r.Modes {
+			row = append(row, fmt.Sprintf("%.1f | %.1f", r.RTT[nic][m], Table3Paper[nic][m]))
+		}
+		t.RowStrings(row)
+	}
+	return t.String()
+}
+
+func init() {
+	register(Experiment{
+		ID:    "table3",
+		Title: "Table 3: Netperf RR round-trip times",
+		Paper: "mlx: 17.3 (strict) .. 13.4 us (none); brcm: 41.9 .. 34.6 us; rIOMMU within 0.5-0.7 us of none",
+		Run: func(q Quality) (string, error) {
+			r, err := RunTable3(q)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		},
+	})
+}

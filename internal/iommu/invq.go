@@ -1,0 +1,160 @@
+package iommu
+
+import (
+	"fmt"
+
+	"riommu/internal/iotlb"
+	"riommu/internal/mem"
+	"riommu/internal/pci"
+)
+
+// Queued invalidation: VT-d's actual invalidation interface. The OS does
+// not poke IOTLB entries directly — it writes invalidation descriptors into
+// an in-memory queue, advances a tail register, and (when it needs
+// completion) appends a wait descriptor and spins on its status word. The
+// ~2,127 cycles Table 1 charges per strict-mode unmap is exactly one
+// submit + wait round trip through this machinery.
+//
+// InvDescriptor layout (16 bytes, simplified from the VT-d spec):
+// word 0 packs the type (low 8 bits) and the BDF (bits 16..32);
+// word 1 holds the IOVA page for per-entry invalidations, or the status
+// address for wait descriptors.
+const (
+	invDescBytes = 16
+
+	// Descriptor types.
+	invTypeEntry  = 0x1 // invalidate one IOTLB entry
+	invTypeGlobal = 0x2 // flush the whole IOTLB
+	invTypeWait   = 0x5 // write 1 to the status address when reached
+)
+
+// InvQueue is the in-memory invalidation queue plus the hardware's
+// processing logic. The simulated hardware drains the queue when a wait
+// descriptor demands completion (real hardware drains asynchronously; the
+// paper's cost model charges the full round trip to the waiting CPU either
+// way). The queue is purely mechanical — the OS driver accounts the cycles.
+type InvQueue struct {
+	mm  *mem.PhysMem
+	tlb *iotlb.IOTLB
+
+	base   mem.PFN
+	size   uint32 // descriptors
+	head   uint32 // hardware cursor
+	tail   uint32 // OS cursor
+	status mem.PA // wait-descriptor status word
+
+	// Processed counts drained descriptors (excluding waits).
+	Processed uint64
+	// Waits counts completed wait descriptors.
+	Waits uint64
+}
+
+// NewInvQueue allocates a one-page queue (256 descriptors) plus a status word.
+func NewInvQueue(mm *mem.PhysMem, tlb *iotlb.IOTLB) (*InvQueue, error) {
+	qf, err := mm.AllocFrame()
+	if err != nil {
+		return nil, fmt.Errorf("iommu: allocating invalidation queue: %w", err)
+	}
+	sf, err := mm.AllocFrame()
+	if err != nil {
+		return nil, fmt.Errorf("iommu: allocating wait status: %w", err)
+	}
+	return &InvQueue{
+		mm:     mm,
+		tlb:    tlb,
+		base:   qf,
+		size:   mem.PageSize / invDescBytes,
+		status: sf.PA(),
+	}, nil
+}
+
+// Pending returns the descriptors the hardware has not drained yet.
+func (q *InvQueue) Pending() uint32 { return (q.tail + q.size - q.head) % q.size }
+
+func (q *InvQueue) slotPA(i uint32) mem.PA {
+	return q.base.PA() + mem.PA((i%q.size)*invDescBytes)
+}
+
+// push writes one descriptor at the OS tail.
+func (q *InvQueue) push(typ uint8, bdf pci.BDF, word1 uint64) error {
+	if (q.tail+1)%q.size == q.head {
+		// The queue never legitimately fills: the OS waits after small
+		// batches. Treat it as a driver bug.
+		return fmt.Errorf("iommu: invalidation queue full")
+	}
+	pa := q.slotPA(q.tail)
+	if err := q.mm.WriteU64(pa, uint64(typ)|uint64(bdf)<<16); err != nil {
+		return err
+	}
+	if err := q.mm.WriteU64(pa+8, word1); err != nil {
+		return err
+	}
+	q.tail = (q.tail + 1) % q.size
+	return nil
+}
+
+// SubmitEntry queues a single-entry invalidation (no wait).
+func (q *InvQueue) SubmitEntry(bdf pci.BDF, iovaPFN uint64) error {
+	return q.push(invTypeEntry, bdf, iovaPFN)
+}
+
+// SubmitGlobal queues a whole-IOTLB flush (no wait).
+func (q *InvQueue) SubmitGlobal() error {
+	return q.push(invTypeGlobal, 0, 0)
+}
+
+// Wait appends a wait descriptor, rings the tail register, and spins until
+// the hardware writes the status word — the synchronous completion point
+// whose ~2,127-cycle cost Table 1 measures (charged by the calling driver).
+func (q *InvQueue) Wait() error {
+	if err := q.mm.WriteU64(q.status, 0); err != nil {
+		return err
+	}
+	if err := q.push(invTypeWait, 0, uint64(q.status)); err != nil {
+		return err
+	}
+	if err := q.drain(); err != nil {
+		return err
+	}
+	// The spin loop observes the status write.
+	v, err := q.mm.ReadU64(q.status)
+	if err != nil {
+		return err
+	}
+	if v != 1 {
+		return fmt.Errorf("iommu: wait descriptor did not complete (status=%d)", v)
+	}
+	return nil
+}
+
+// drain is the hardware side: consume descriptors from head to tail.
+func (q *InvQueue) drain() error {
+	for q.head != q.tail {
+		pa := q.slotPA(q.head)
+		w0, err := q.mm.ReadU64(pa)
+		if err != nil {
+			return err
+		}
+		w1, err := q.mm.ReadU64(pa + 8)
+		if err != nil {
+			return err
+		}
+		switch uint8(w0) {
+		case invTypeEntry:
+			q.tlb.Invalidate(iotlb.Key{BDF: pci.BDF(w0 >> 16), IOVAPFN: w1})
+			q.Processed++
+		case invTypeGlobal:
+			q.tlb.Flush()
+			q.Processed++
+		case invTypeWait:
+			if err := q.mm.WriteU64(mem.PA(w1), 1); err != nil {
+				return err
+			}
+			q.Waits++
+		default:
+			return fmt.Errorf("iommu: bad invalidation descriptor type %#x", uint8(w0))
+		}
+		q.head = (q.head + 1) % q.size
+	}
+	return nil
+}

@@ -1,0 +1,151 @@
+package iommu
+
+import (
+	"testing"
+
+	"riommu/internal/iotlb"
+	"riommu/internal/mem"
+	"riommu/internal/pci"
+)
+
+func newInvQ(t *testing.T) (*InvQueue, *iotlb.IOTLB, *mem.PhysMem) {
+	t.Helper()
+	mm := mem.MustNew(64 * mem.PageSize)
+	tlb := iotlb.New(16)
+	q, err := NewInvQueue(mm, tlb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q, tlb, mm
+}
+
+func TestInvQueueEntryInvalidation(t *testing.T) {
+	q, tlb, _ := newInvQ(t)
+	d := pci.NewBDF(0, 3, 0)
+	tlb.Insert(iotlb.Key{BDF: d, IOVAPFN: 7}, iotlb.Entry{Frame: 1, Perm: pci.DirBidi})
+	tlb.Insert(iotlb.Key{BDF: d, IOVAPFN: 8}, iotlb.Entry{Frame: 2, Perm: pci.DirBidi})
+
+	if err := q.SubmitEntry(d, 7); err != nil {
+		t.Fatal(err)
+	}
+	// Submitted but not drained: the entry is still cached (the hardware
+	// is asynchronous; the wait descriptor is the synchronization point).
+	if _, ok := tlb.Lookup(iotlb.Key{BDF: d, IOVAPFN: 7}); !ok {
+		t.Fatal("entry invalidated before the wait completed")
+	}
+	if err := q.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tlb.Lookup(iotlb.Key{BDF: d, IOVAPFN: 7}); ok {
+		t.Error("entry survived the queued invalidation")
+	}
+	if _, ok := tlb.Lookup(iotlb.Key{BDF: d, IOVAPFN: 8}); !ok {
+		t.Error("unrelated entry purged")
+	}
+	if q.Processed != 1 || q.Waits != 1 {
+		t.Errorf("counters: %d processed, %d waits", q.Processed, q.Waits)
+	}
+}
+
+func TestInvQueueGlobalFlushBatch(t *testing.T) {
+	q, tlb, _ := newInvQ(t)
+	d := pci.NewBDF(0, 3, 0)
+	for i := uint64(0); i < 8; i++ {
+		tlb.Insert(iotlb.Key{BDF: d, IOVAPFN: i}, iotlb.Entry{Frame: mem.PFN(i), Perm: pci.DirBidi})
+	}
+	// Deferred-style batch: many entry descriptors, one global, one wait.
+	for i := uint64(0); i < 4; i++ {
+		if err := q.SubmitEntry(d, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := q.SubmitGlobal(); err != nil {
+		t.Fatal(err)
+	}
+	if q.Pending() != 5 {
+		t.Errorf("Pending = %d, want 5", q.Pending())
+	}
+	if err := q.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if tlb.Len() != 0 {
+		t.Errorf("IOTLB holds %d entries after global flush", tlb.Len())
+	}
+	if q.Pending() != 0 {
+		t.Error("descriptors left pending after wait")
+	}
+	if q.Processed != 5 {
+		t.Errorf("Processed = %d, want 5", q.Processed)
+	}
+}
+
+func TestInvQueueOrdering(t *testing.T) {
+	// Descriptors drain strictly in order: an entry invalidation queued
+	// after a global flush must still apply (it would purge a refilled
+	// entry in real hardware).
+	q, tlb, _ := newInvQ(t)
+	d := pci.NewBDF(0, 3, 0)
+	if err := q.SubmitGlobal(); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.SubmitEntry(d, 3); err != nil {
+		t.Fatal(err)
+	}
+	// Insert after submit, before drain: the global must not remove it if
+	// ordering were wrong... but our synchronous drain happens at Wait, so
+	// both run now, global first.
+	tlb.Insert(iotlb.Key{BDF: d, IOVAPFN: 3}, iotlb.Entry{Frame: 9, Perm: pci.DirBidi})
+	if err := q.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tlb.Lookup(iotlb.Key{BDF: d, IOVAPFN: 3}); ok {
+		t.Error("entry descriptor after global flush did not apply in order")
+	}
+}
+
+func TestInvQueueWraparound(t *testing.T) {
+	q, tlb, _ := newInvQ(t)
+	d := pci.NewBDF(0, 3, 0)
+	// Push many batches so the queue cursor wraps its 256 slots.
+	for round := 0; round < 300; round++ {
+		tlb.Insert(iotlb.Key{BDF: d, IOVAPFN: uint64(round)}, iotlb.Entry{Frame: 1, Perm: pci.DirBidi})
+		if err := q.SubmitEntry(d, uint64(round)); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if err := q.Wait(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if _, ok := tlb.Lookup(iotlb.Key{BDF: d, IOVAPFN: uint64(round)}); ok {
+			t.Fatalf("round %d: entry survived", round)
+		}
+	}
+	if q.Processed != 300 || q.Waits != 300 {
+		t.Errorf("counters: %d/%d", q.Processed, q.Waits)
+	}
+}
+
+func TestInvQueueOverflow(t *testing.T) {
+	q, _, _ := newInvQ(t)
+	d := pci.NewBDF(0, 3, 0)
+	var err error
+	for i := 0; i < 1000; i++ {
+		if err = q.SubmitEntry(d, uint64(i)); err != nil {
+			break
+		}
+	}
+	if err == nil {
+		t.Error("unbounded submits without wait should overflow the queue")
+	}
+}
+
+func TestInvQueueBadDescriptor(t *testing.T) {
+	q, _, mm := newInvQ(t)
+	// Corrupt the queue memory directly (a buggy driver) and drain.
+	if err := mm.WriteU64(q.slotPA(q.tail), 0xFF); err != nil {
+		t.Fatal(err)
+	}
+	q.tail = (q.tail + 1) % q.size
+	if err := q.Wait(); err == nil {
+		t.Error("bad descriptor type should fail the drain")
+	}
+}

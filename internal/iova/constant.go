@@ -1,0 +1,101 @@
+package iova
+
+import (
+	"fmt"
+
+	"riommu/internal/cycles"
+)
+
+// ConstAllocator is the authors' optimized IOVA allocator (the "+" in
+// strict+/defer+; Malka, Amit & Tsafrir, FAST'15): allocation and
+// deallocation run in constant time.
+//
+// Freed ranges are not erased from the red-black tree; they are marked free
+// and pushed on a per-size free list, so a subsequent allocation of the same
+// size pops the list and revalidates the node — two O(1) operations. Fresh
+// ranges (free list empty) are carved top-down with a bump pointer, also
+// O(1). The cost, visible in Table 1, is that the tree holds live *and*
+// cached-free ranges, so the unmap-time lookup ("iova find": 418 vs 249
+// cycles) walks a slightly deeper tree, while "iova free" drops from 159 to
+// 62 cycles and "iova alloc" from 3,986 to 92.
+type ConstAllocator struct {
+	clk   *cycles.Clock
+	model *cycles.Model
+
+	t        tree
+	freeList map[uint64][]*node // pages -> stack of recycled ranges
+	bump     uint64             // next fresh pfnHi (descending)
+	live     int
+}
+
+// NewConst returns a ConstAllocator allocating top-down from limit.
+func NewConst(clk *cycles.Clock, model *cycles.Model, limit uint64) *ConstAllocator {
+	return &ConstAllocator{
+		clk:      clk,
+		model:    model,
+		freeList: make(map[uint64][]*node),
+		bump:     limit,
+	}
+}
+
+// Live returns the number of live allocations.
+func (a *ConstAllocator) Live() int { return a.live }
+
+// TreeSize returns the total ranges in the tree, live plus cached-free.
+func (a *ConstAllocator) TreeSize() int { return a.t.size }
+
+// Alloc pops a recycled range of the right size, or carves a fresh one.
+func (a *ConstAllocator) Alloc(pages uint64) (uint64, error) {
+	if pages == 0 {
+		return 0, fmt.Errorf("iova: zero-size allocation")
+	}
+	if fl := a.freeList[pages]; len(fl) > 0 {
+		n := fl[len(fl)-1]
+		a.freeList[pages] = fl[:len(fl)-1]
+		n.free = false
+		a.live++
+		a.clk.Charge(cycles.MapIOVAAlloc, a.model.FreelistOp*2)
+		return n.pfnLo, nil
+	}
+	// Fresh carve: O(1) bump allocation plus a tree insert. This path runs
+	// only until the working set is warm, so its logarithmic insert does
+	// not affect the steady-state constant-time behaviour.
+	if a.bump < StartPFN || a.bump-StartPFN+1 < pages {
+		a.clk.Charge(cycles.MapIOVAAlloc, a.model.FreelistOp)
+		return 0, fmt.Errorf("iova: fresh address space exhausted (%d live)", a.live)
+	}
+	n := &node{pfnLo: a.bump - pages + 1, pfnHi: a.bump}
+	a.bump = n.pfnLo - 1
+	a.t.takeVisits()
+	a.t.insert(n)
+	a.t.takeVisits()
+	a.live++
+	a.clk.Charge(cycles.MapIOVAAlloc, a.model.FreelistOp*2)
+	return n.pfnLo, nil
+}
+
+// Contains reports whether pfn is inside a live range.
+func (a *ConstAllocator) Contains(pfn uint64) bool {
+	defer a.t.takeVisits()
+	n := a.t.find(pfn)
+	return n != nil && !n.free
+}
+
+// Free marks the range containing pfn as recycled. The lookup walks the
+// (fuller) tree; the release itself is a constant-time list push.
+func (a *ConstAllocator) Free(pfn uint64) error {
+	a.t.takeVisits()
+	n := a.t.find(pfn)
+	a.clk.Charge(cycles.UnmapIOVAFind, a.t.takeVisits()*a.model.ConstFindVisit)
+	if n == nil || n.free {
+		return fmt.Errorf("iova: free of unallocated pfn %#x", pfn)
+	}
+	n.free = true
+	pages := n.pfnHi - n.pfnLo + 1
+	a.freeList[pages] = append(a.freeList[pages], n)
+	a.live--
+	a.clk.Charge(cycles.UnmapIOVAFree, a.model.FreelistOp)
+	return nil
+}
+
+var _ Allocator = (*ConstAllocator)(nil)

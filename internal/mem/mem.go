@@ -1,0 +1,311 @@
+// Package mem implements the simulated physical memory substrate: a frame
+// allocator over a flat byte-addressable space, page pinning, and typed
+// accessors. All simulated structures that the (r)IOMMU hardware reads —
+// radix page tables, flat rIOMMU tables, DMA descriptors, target buffers —
+// live inside a PhysMem so that translations and DMAs are exercised against
+// real bytes rather than mocked.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Architectural constants shared by the whole simulator (Intel x86-64 / VT-d).
+const (
+	// PageShift is log2 of the page size.
+	PageShift = 12
+	// PageSize is the 4 KiB page size.
+	PageSize = 1 << PageShift
+	// PageMask masks the offset-within-page bits.
+	PageMask = PageSize - 1
+	// CachelineSize is the size of one CPU cacheline.
+	CachelineSize = 64
+)
+
+// PA is a physical address in the simulated memory.
+type PA uint64
+
+// PFN is a physical frame number (PA >> PageShift).
+type PFN uint64
+
+// PA returns the base physical address of the frame.
+func (p PFN) PA() PA { return PA(p) << PageShift }
+
+// PFNOf returns the frame number containing pa.
+func PFNOf(pa PA) PFN { return PFN(pa >> PageShift) }
+
+// AccessError describes an invalid physical memory access.
+type AccessError struct {
+	Op   string // "read", "write", "alloc", "free", "pin", "unpin"
+	Addr PA
+	Size uint64
+	Why  string
+}
+
+func (e *AccessError) Error() string {
+	return fmt.Sprintf("mem: %s [pa=%#x size=%d]: %s", e.Op, e.Addr, e.Size, e.Why)
+}
+
+// PhysMem is a simulated physical memory with a simple page-frame allocator.
+// Frame 0 is reserved (so a zero PA can act as a null pointer in page
+// tables). PhysMem is not safe for concurrent use.
+type PhysMem struct {
+	data     []byte
+	frames   int
+	free     []PFN // LIFO free list
+	alloced  []bool
+	pinCount []uint32
+}
+
+// New creates a physical memory of the given size in bytes, which must be a
+// positive multiple of PageSize.
+func New(size uint64) (*PhysMem, error) {
+	if size == 0 || size%PageSize != 0 {
+		return nil, &AccessError{Op: "alloc", Size: size, Why: "size must be a positive multiple of the page size"}
+	}
+	frames := int(size / PageSize)
+	m := &PhysMem{
+		data:     make([]byte, size),
+		frames:   frames,
+		alloced:  make([]bool, frames),
+		pinCount: make([]uint32, frames),
+	}
+	// Reserve frame 0; push the rest in descending order so frames are
+	// handed out from low addresses first (deterministic layout).
+	m.alloced[0] = true
+	m.free = make([]PFN, 0, frames-1)
+	for f := frames - 1; f >= 1; f-- {
+		m.free = append(m.free, PFN(f))
+	}
+	return m, nil
+}
+
+// MustNew is New but panics on error; for tests and examples with constant sizes.
+func MustNew(size uint64) *PhysMem {
+	m, err := New(size)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Size returns the total size of the memory in bytes.
+func (m *PhysMem) Size() uint64 { return uint64(len(m.data)) }
+
+// Frames returns the total number of page frames.
+func (m *PhysMem) Frames() int { return m.frames }
+
+// FreeFrames returns the number of currently unallocated frames.
+func (m *PhysMem) FreeFrames() int { return len(m.free) }
+
+// AllocFrame allocates one zeroed page frame.
+func (m *PhysMem) AllocFrame() (PFN, error) {
+	if len(m.free) == 0 {
+		return 0, &AccessError{Op: "alloc", Why: "out of physical frames"}
+	}
+	f := m.free[len(m.free)-1]
+	m.free = m.free[:len(m.free)-1]
+	m.alloced[f] = true
+	base := uint64(f.PA())
+	clear(m.data[base : base+PageSize])
+	return f, nil
+}
+
+// AllocFrames allocates n physically contiguous zeroed frames and returns the
+// first PFN. Contiguity is required for multi-page rings and flat tables.
+func (m *PhysMem) AllocFrames(n int) (PFN, error) {
+	if n <= 0 {
+		return 0, &AccessError{Op: "alloc", Why: "nonpositive frame count"}
+	}
+	if n == 1 {
+		return m.AllocFrame()
+	}
+	// First-fit scan for a contiguous run of free frames.
+	run := 0
+	for f := 1; f < m.frames; f++ {
+		if m.alloced[f] {
+			run = 0
+			continue
+		}
+		run++
+		if run == n {
+			first := PFN(f - n + 1)
+			for i := 0; i < n; i++ {
+				m.takeFrame(first + PFN(i))
+			}
+			base := uint64(first.PA())
+			clear(m.data[base : base+uint64(n)*PageSize])
+			return first, nil
+		}
+	}
+	return 0, &AccessError{Op: "alloc", Size: uint64(n) * PageSize, Why: "no contiguous run of free frames"}
+}
+
+// takeFrame removes f from the free list and marks it allocated.
+func (m *PhysMem) takeFrame(f PFN) {
+	for i, g := range m.free {
+		if g == f {
+			m.free[i] = m.free[len(m.free)-1]
+			m.free = m.free[:len(m.free)-1]
+			break
+		}
+	}
+	m.alloced[f] = true
+}
+
+// FreeFrame releases a previously allocated frame. Freeing a pinned or
+// unallocated frame is an error.
+func (m *PhysMem) FreeFrame(f PFN) error {
+	if err := m.checkFrame("free", f); err != nil {
+		return err
+	}
+	if m.pinCount[f] > 0 {
+		return &AccessError{Op: "free", Addr: f.PA(), Why: "frame is pinned"}
+	}
+	m.alloced[f] = false
+	m.free = append(m.free, f)
+	return nil
+}
+
+// Pin increments the pin count of the frame containing pa. Pinned frames
+// model pages locked for in-flight DMA (the paper notes target pages must be
+// pinned since DMAs are not restartable).
+func (m *PhysMem) Pin(pa PA) error {
+	f := PFNOf(pa)
+	if err := m.checkFrame("pin", f); err != nil {
+		return err
+	}
+	m.pinCount[f]++
+	return nil
+}
+
+// Unpin decrements the pin count of the frame containing pa.
+func (m *PhysMem) Unpin(pa PA) error {
+	f := PFNOf(pa)
+	if err := m.checkFrame("unpin", f); err != nil {
+		return err
+	}
+	if m.pinCount[f] == 0 {
+		return &AccessError{Op: "unpin", Addr: pa, Why: "frame is not pinned"}
+	}
+	m.pinCount[f]--
+	return nil
+}
+
+// Pinned reports whether the frame containing pa has a nonzero pin count.
+func (m *PhysMem) Pinned(pa PA) bool {
+	f := PFNOf(pa)
+	return int(f) < m.frames && m.pinCount[f] > 0
+}
+
+func (m *PhysMem) checkFrame(op string, f PFN) error {
+	if int(f) >= m.frames {
+		return &AccessError{Op: op, Addr: f.PA(), Why: "frame out of range"}
+	}
+	if f == 0 {
+		return &AccessError{Op: op, Addr: 0, Why: "frame 0 is reserved"}
+	}
+	if !m.alloced[f] {
+		return &AccessError{Op: op, Addr: f.PA(), Why: "frame not allocated"}
+	}
+	return nil
+}
+
+func (m *PhysMem) checkRange(op string, pa PA, size uint64) error {
+	end := uint64(pa) + size
+	if end < uint64(pa) || end > uint64(len(m.data)) {
+		return &AccessError{Op: op, Addr: pa, Size: size, Why: "out of bounds"}
+	}
+	// Every touched frame must be allocated.
+	for f := PFNOf(pa); uint64(f.PA()) < end; f++ {
+		if !m.alloced[f] {
+			return &AccessError{Op: op, Addr: pa, Size: size, Why: fmt.Sprintf("frame %#x not allocated", uint64(f))}
+		}
+	}
+	return nil
+}
+
+// Read copies size bytes at pa into a fresh slice.
+func (m *PhysMem) Read(pa PA, size uint64) ([]byte, error) {
+	if err := m.checkRange("read", pa, size); err != nil {
+		return nil, err
+	}
+	out := make([]byte, size)
+	copy(out, m.data[pa:uint64(pa)+size])
+	return out, nil
+}
+
+// ReadInto copies len(dst) bytes at pa into dst.
+func (m *PhysMem) ReadInto(pa PA, dst []byte) error {
+	if err := m.checkRange("read", pa, uint64(len(dst))); err != nil {
+		return err
+	}
+	copy(dst, m.data[pa:])
+	return nil
+}
+
+// Write copies src into memory at pa.
+func (m *PhysMem) Write(pa PA, src []byte) error {
+	if err := m.checkRange("write", pa, uint64(len(src))); err != nil {
+		return err
+	}
+	copy(m.data[pa:], src)
+	return nil
+}
+
+// ReadU64 reads a little-endian uint64 at pa.
+func (m *PhysMem) ReadU64(pa PA) (uint64, error) {
+	if err := m.checkRange("read", pa, 8); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(m.data[pa:]), nil
+}
+
+// WriteU64 writes a little-endian uint64 at pa.
+func (m *PhysMem) WriteU64(pa PA, v uint64) error {
+	if err := m.checkRange("write", pa, 8); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint64(m.data[pa:], v)
+	return nil
+}
+
+// ReadU32 reads a little-endian uint32 at pa.
+func (m *PhysMem) ReadU32(pa PA) (uint32, error) {
+	if err := m.checkRange("read", pa, 4); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(m.data[pa:]), nil
+}
+
+// WriteU32 writes a little-endian uint32 at pa.
+func (m *PhysMem) WriteU32(pa PA, v uint32) error {
+	if err := m.checkRange("write", pa, 4); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(m.data[pa:], v)
+	return nil
+}
+
+// Fill sets size bytes at pa to b.
+func (m *PhysMem) Fill(pa PA, size uint64, b byte) error {
+	if err := m.checkRange("write", pa, size); err != nil {
+		return err
+	}
+	for i := uint64(0); i < size; i++ {
+		m.data[uint64(pa)+i] = b
+	}
+	return nil
+}
+
+// CachelinesSpanned returns how many cachelines the byte range [pa, pa+size)
+// touches; used to charge per-cacheline flush costs.
+func CachelinesSpanned(pa PA, size uint64) uint64 {
+	if size == 0 {
+		return 0
+	}
+	first := uint64(pa) / CachelineSize
+	last := (uint64(pa) + size - 1) / CachelineSize
+	return last - first + 1
+}

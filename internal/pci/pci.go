@@ -1,0 +1,72 @@
+// Package pci defines the identifiers the PCI protocol attaches to DMA
+// transactions: the 16-bit bus-device-function request identifier and the DMA
+// direction. These are shared by the baseline IOMMU, the rIOMMU, the DMA
+// engine, and the device models.
+package pci
+
+import "fmt"
+
+// BDF is the 16-bit PCI request identifier: 8-bit bus, 5-bit device, 3-bit
+// function. Every DMA carries a BDF that the (r)IOMMU uses to locate the
+// issuing device's translation structures.
+type BDF uint16
+
+// NewBDF assembles a BDF from its components. Out-of-range components are
+// masked to their architectural widths.
+func NewBDF(bus uint8, dev, fn uint8) BDF {
+	return BDF(uint16(bus)<<8 | uint16(dev&0x1f)<<3 | uint16(fn&0x7))
+}
+
+// Bus returns the 8-bit bus number (indexes the IOMMU root table).
+func (b BDF) Bus() uint8 { return uint8(b >> 8) }
+
+// DevFn returns the 8-bit device+function concatenation (indexes the context
+// table).
+func (b BDF) DevFn() uint8 { return uint8(b) }
+
+// Device returns the 5-bit device number.
+func (b BDF) Device() uint8 { return uint8(b>>3) & 0x1f }
+
+// Function returns the 3-bit function number.
+func (b BDF) Function() uint8 { return uint8(b) & 0x7 }
+
+// String renders the BDF in the conventional bb:dd.f form.
+func (b BDF) String() string {
+	return fmt.Sprintf("%02x:%02x.%d", b.Bus(), b.Device(), b.Function())
+}
+
+// Dir is a DMA direction, a 2-bit permission mask exactly as in the paper's
+// rPTE.dir field: bit 0 allows device reads from memory (transmit), bit 1
+// allows device writes to memory (receive).
+type Dir uint8
+
+const (
+	// DirNone permits no access.
+	DirNone Dir = 0
+	// DirToDevice permits the device to read memory (Tx DMA).
+	DirToDevice Dir = 1
+	// DirFromDevice permits the device to write memory (Rx DMA).
+	DirFromDevice Dir = 2
+	// DirBidi permits both.
+	DirBidi Dir = DirToDevice | DirFromDevice
+)
+
+// Allows reports whether a DMA of direction req is permitted under the
+// permission mask d (the paper's `e.rpte.dir & dir` check).
+func (d Dir) Allows(req Dir) bool { return req != 0 && d&req == req }
+
+// String names the direction.
+func (d Dir) String() string {
+	switch d {
+	case DirNone:
+		return "none"
+	case DirToDevice:
+		return "to-device"
+	case DirFromDevice:
+		return "from-device"
+	case DirBidi:
+		return "bidirectional"
+	default:
+		return fmt.Sprintf("dir(%d)", uint8(d))
+	}
+}

@@ -1,0 +1,68 @@
+package pci
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBDFRoundTrip(t *testing.T) {
+	f := func(bus, dev, fn uint8) bool {
+		b := NewBDF(bus, dev, fn)
+		return b.Bus() == bus && b.Device() == dev&0x1f && b.Function() == fn&0x7
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBDFDevFn(t *testing.T) {
+	b := NewBDF(0x3f, 0x1a, 0x5)
+	if b.Bus() != 0x3f {
+		t.Errorf("Bus = %#x", b.Bus())
+	}
+	if b.DevFn() != 0x1a<<3|0x5 {
+		t.Errorf("DevFn = %#x", b.DevFn())
+	}
+	if b.String() != "3f:1a.5" {
+		t.Errorf("String = %q", b.String())
+	}
+}
+
+func TestDirAllows(t *testing.T) {
+	cases := []struct {
+		perm, req Dir
+		want      bool
+	}{
+		{DirBidi, DirToDevice, true},
+		{DirBidi, DirFromDevice, true},
+		{DirBidi, DirBidi, true},
+		{DirToDevice, DirToDevice, true},
+		{DirToDevice, DirFromDevice, false},
+		{DirFromDevice, DirToDevice, false},
+		{DirFromDevice, DirFromDevice, true},
+		{DirNone, DirToDevice, false},
+		{DirNone, DirFromDevice, false},
+		{DirBidi, DirNone, false}, // a DMA must have a direction
+		{DirToDevice, DirBidi, false},
+	}
+	for _, c := range cases {
+		if got := c.perm.Allows(c.req); got != c.want {
+			t.Errorf("%v.Allows(%v) = %v, want %v", c.perm, c.req, got, c.want)
+		}
+	}
+}
+
+func TestDirString(t *testing.T) {
+	names := map[Dir]string{
+		DirNone:       "none",
+		DirToDevice:   "to-device",
+		DirFromDevice: "from-device",
+		DirBidi:       "bidirectional",
+		Dir(7):        "dir(7)",
+	}
+	for d, want := range names {
+		if got := d.String(); got != want {
+			t.Errorf("Dir(%d).String() = %q, want %q", uint8(d), got, want)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+// Package perfmodel implements the paper's validated performance model
+// (§3.3): for I/O-intensive workloads the throughput of the system is
+// entirely determined by C, the average number of CPU cycles the core spends
+// processing one packet. With S the core clock in cycles/second and 1,500
+// wire bytes per Ethernet packet,
+//
+//	Gbps(C) = 1500 byte × 8 bit × (S / C) / 1e9
+//
+// capped at the NIC's line rate. Figure 8 shows this model coincides with
+// measurements both under artificial busy-wait lengthening of C and under
+// the real IOMMU modes.
+package perfmodel
+
+import "riommu/internal/cycles"
+
+// WireBytes is the Ethernet wire size the paper's model uses per packet.
+const WireBytes = 1500
+
+// PacketsPerSecond returns S/C capped at the line rate's packet rate.
+// A zero C means the core is never the bottleneck (line-rate limited).
+func PacketsPerSecond(m cycles.Model, cyclesPerPacket float64, lineRateGbps float64) float64 {
+	linePkts := LineRatePackets(lineRateGbps)
+	if cyclesPerPacket <= 0 {
+		return linePkts
+	}
+	pkts := m.CyclesPerSecond() / cyclesPerPacket
+	if lineRateGbps > 0 && pkts > linePkts {
+		return linePkts
+	}
+	return pkts
+}
+
+// LineRatePackets converts a line rate to WireBytes-packets per second.
+func LineRatePackets(lineRateGbps float64) float64 {
+	return lineRateGbps * 1e9 / (WireBytes * 8)
+}
+
+// Gbps implements the paper's model with a line-rate cap.
+func Gbps(m cycles.Model, cyclesPerPacket float64, lineRateGbps float64) float64 {
+	return PacketsPerSecond(m, cyclesPerPacket, lineRateGbps) * WireBytes * 8 / 1e9
+}
+
+// GbpsUncapped is the pure model curve of Figure 8 (no line-rate cap).
+func GbpsUncapped(m cycles.Model, cyclesPerPacket float64) float64 {
+	if cyclesPerPacket <= 0 {
+		return 0
+	}
+	return m.CyclesPerSecond() / cyclesPerPacket * WireBytes * 8 / 1e9
+}
+
+// CPUUtil returns the core utilization in [0,1] when processing rate units
+// per second at cyclesPerUnit each.
+func CPUUtil(m cycles.Model, cyclesPerUnit, ratePerSecond float64) float64 {
+	u := cyclesPerUnit * ratePerSecond / m.CyclesPerSecond()
+	if u > 1 {
+		return 1
+	}
+	if u < 0 {
+		return 0
+	}
+	return u
+}
+
+// RatePerSecond returns the sustained unit rate for a per-unit CPU cost,
+// capped by an optional line rate expressed in units/second (<= 0: uncapped).
+func RatePerSecond(m cycles.Model, cyclesPerUnit, lineUnitsPerSecond float64) float64 {
+	if cyclesPerUnit <= 0 {
+		return lineUnitsPerSecond
+	}
+	r := m.CyclesPerSecond() / cyclesPerUnit
+	if lineUnitsPerSecond > 0 && r > lineUnitsPerSecond {
+		return lineUnitsPerSecond
+	}
+	return r
+}

@@ -1,0 +1,103 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+
+	"riommu/internal/cycles"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestGbpsModelAnchors(t *testing.T) {
+	m := cycles.DefaultModel() // S = 3.1 GHz
+	// The paper's Figure 7/8 anchor: C_none = 1,816 cycles/packet on a
+	// 40 Gbps NIC gives 1500*8*3.1e9/1816 ≈ 20.5 Gbps.
+	got := Gbps(m, 1816, 40)
+	if !almostEqual(got, 20.48, 0.1) {
+		t.Errorf("Gbps(1816) = %.2f, want ≈20.5", got)
+	}
+	// C_strict ≈ 10× C_none gives ≈2 Gbps.
+	if g := Gbps(m, 18160, 40); !almostEqual(g, 2.05, 0.05) {
+		t.Errorf("Gbps(18160) = %.2f", g)
+	}
+}
+
+func TestLineRateCap(t *testing.T) {
+	m := cycles.DefaultModel()
+	// On a 10 Gbps NIC, a tiny C saturates at exactly 10.
+	if g := Gbps(m, 100, 10); g != 10 {
+		t.Errorf("capped Gbps = %v, want 10", g)
+	}
+	// Zero C means line rate.
+	if g := Gbps(m, 0, 10); g != 10 {
+		t.Errorf("Gbps(0) = %v", g)
+	}
+	// Uncapped model keeps growing.
+	if g := GbpsUncapped(m, 100); g <= 100 {
+		t.Errorf("GbpsUncapped(100) = %v", g)
+	}
+	if GbpsUncapped(m, 0) != 0 {
+		t.Error("GbpsUncapped(0) should be 0")
+	}
+}
+
+func TestThroughputInverseInC(t *testing.T) {
+	// The §3.3 consequence: throughput is proportional to 1/C below the cap.
+	m := cycles.DefaultModel()
+	g1 := Gbps(m, 4000, 40)
+	g2 := Gbps(m, 8000, 40)
+	if !almostEqual(g1/g2, 2.0, 1e-9) {
+		t.Errorf("doubling C should halve Gbps: %v vs %v", g1, g2)
+	}
+}
+
+func TestLineRatePackets(t *testing.T) {
+	// 10 Gbps / (1500 B × 8 b) = 833,333 pkt/s.
+	if p := LineRatePackets(10); !almostEqual(p, 833333.3, 1) {
+		t.Errorf("LineRatePackets(10) = %v", p)
+	}
+}
+
+func TestPacketsPerSecondCap(t *testing.T) {
+	m := cycles.DefaultModel()
+	if p := PacketsPerSecond(m, 1816, 10); !almostEqual(p, 833333.3, 1) {
+		t.Errorf("brcm-like saturation: %v", p)
+	}
+	if p := PacketsPerSecond(m, 1816, 40); !almostEqual(p, 3.1e9/1816, 1) {
+		t.Errorf("mlx-like CPU bound: %v", p)
+	}
+}
+
+func TestCPUUtil(t *testing.T) {
+	m := cycles.DefaultModel()
+	// CPU-bound: utilization is exactly 1.
+	pkts := PacketsPerSecond(m, 3720, 40)
+	if u := CPUUtil(m, 3720, pkts); !almostEqual(u, 1.0, 1e-9) {
+		t.Errorf("CPU-bound util = %v", u)
+	}
+	// Line-rate bound at 10G with C=1860: util = 1860*833333/3.1e9 ≈ 0.5.
+	if u := CPUUtil(m, 1860, LineRatePackets(10)); !almostEqual(u, 0.5, 0.01) {
+		t.Errorf("line-bound util = %v", u)
+	}
+	if u := CPUUtil(m, 1e12, 1e12); u != 1 {
+		t.Errorf("util must cap at 1, got %v", u)
+	}
+	if u := CPUUtil(m, -5, 10); u != 0 {
+		t.Errorf("negative util clamped, got %v", u)
+	}
+}
+
+func TestRatePerSecond(t *testing.T) {
+	m := cycles.DefaultModel()
+	// 258,333 cycles/request → ~12K req/s (the Apache 1KB anchor).
+	if r := RatePerSecond(m, 258333, 0); !almostEqual(r, 12000, 20) {
+		t.Errorf("apache rate = %v", r)
+	}
+	if r := RatePerSecond(m, 100, 500); r != 500 {
+		t.Errorf("line cap = %v", r)
+	}
+	if r := RatePerSecond(m, 0, 500); r != 500 {
+		t.Errorf("zero-cost rate = %v", r)
+	}
+}

@@ -1,0 +1,26 @@
+package workload
+
+import (
+	"testing"
+
+	"riommu/internal/cycles"
+	"riommu/internal/device"
+	"riommu/internal/sim"
+)
+
+func TestCalibrationBreakdown(t *testing.T) {
+	for _, m := range []sim.Mode{sim.Strict, sim.StrictPlus, sim.Defer, sim.DeferPlus} {
+		r, err := NetperfStream(m, device.ProfileMLX, StreamOpts{Messages: 150, WarmupMessages: 80})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := r.Breakdown
+		t.Logf("%-8s mapAlloc=%.0f mapPT=%.0f mapOther=%.0f | find=%.0f free=%.0f unPT=%.0f inv=%.0f unOther=%.0f | mapsum=%.0f unmapsum=%.0f",
+			m,
+			b.Average(cycles.MapIOVAAlloc), b.Average(cycles.MapPageTable), b.Average(cycles.MapOther),
+			b.Average(cycles.UnmapIOVAFind), b.Average(cycles.UnmapIOVAFree), b.Average(cycles.UnmapPageTable),
+			b.Average(cycles.UnmapIOTLBInv), b.Average(cycles.UnmapOther),
+			b.Average(cycles.MapIOVAAlloc)+b.Average(cycles.MapPageTable)+b.Average(cycles.MapOther),
+			b.Average(cycles.UnmapIOVAFind)+b.Average(cycles.UnmapIOVAFree)+b.Average(cycles.UnmapPageTable)+b.Average(cycles.UnmapIOTLBInv)+b.Average(cycles.UnmapOther))
+	}
+}
