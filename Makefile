@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: all build test tier1 vet race ci fuzz clean
+
+all: tier1
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# tier1 is the repository's acceptance gate: everything compiles, every test
+# passes.
+tier1: build test
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# ci is the full static + dynamic check: vet, then the whole suite under the
+# race detector.
+ci: build vet race
+
+# A short bounded run of the fault-determinism fuzzer (the seed corpus also
+# runs as part of plain `go test`).
+fuzz:
+	$(GO) test ./internal/sim/ -run FuzzFaultDeterminism -fuzz FuzzFaultDeterminism -fuzztime 20s
+
+clean:
+	$(GO) clean ./...

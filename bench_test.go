@@ -229,7 +229,7 @@ func BenchmarkBonnie(b *testing.B) {
 // BenchmarkRIOMMUMapUnmap measures one rIOMMU map+unmap pair: wall time is
 // simulator speed; the metric is the virtual cycles the pair costs the core.
 func BenchmarkRIOMMUMapUnmap(b *testing.B) {
-	mm := mem.MustNew(1024 * mem.PageSize)
+	mm := mustMem(b, 1024 * mem.PageSize)
 	clk := &cycles.Clock{}
 	model := cycles.DefaultModel()
 	hw := core.New(clk, &model, mm)
@@ -254,7 +254,7 @@ func BenchmarkRIOMMUMapUnmap(b *testing.B) {
 
 // BenchmarkBaselineMapUnmap measures the strict-mode pair for contrast.
 func BenchmarkBaselineMapUnmap(b *testing.B) {
-	mm := mem.MustNew(4096 * mem.PageSize)
+	mm := mustMem(b, 4096 * mem.PageSize)
 	clk := &cycles.Clock{}
 	model := cycles.DefaultModel()
 	hier, err := pagetable.NewHierarchy(mm)
@@ -284,7 +284,7 @@ func BenchmarkBaselineMapUnmap(b *testing.B) {
 // BenchmarkRtranslate measures the rIOMMU hardware fast path (sequential
 // translations served by the prefetched next rPTE).
 func BenchmarkRtranslate(b *testing.B) {
-	mm := mem.MustNew(1024 * mem.PageSize)
+	mm := mustMem(b, 1024 * mem.PageSize)
 	clk := &cycles.Clock{}
 	model := cycles.DefaultModel()
 	hw := core.New(clk, &model, mm)

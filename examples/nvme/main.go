@@ -19,7 +19,10 @@ import (
 )
 
 func main() {
-	mm := mem.MustNew(4096 * mem.PageSize)
+	mm, err := mem.New(4096 * mem.PageSize)
+	if err != nil {
+		log.Fatal(err)
+	}
 	clk := &cycles.Clock{}
 	model := cycles.DefaultModel()
 	hw := core.New(clk, &model, mm)

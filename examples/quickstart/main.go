@@ -16,7 +16,10 @@ import (
 func main() {
 	// A simulated machine: physical memory, a virtual CPU clock, the cost
 	// model calibrated to the paper's measurements.
-	mm := mem.MustNew(1024 * mem.PageSize)
+	mm, err := mem.New(1024 * mem.PageSize)
+	if err != nil {
+		log.Fatal(err)
+	}
 	clk := &cycles.Clock{}
 	model := cycles.DefaultModel()
 

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"riommu/internal/cycles"
+	"riommu/internal/faults"
 	"riommu/internal/iommu"
 	"riommu/internal/iotlb"
 	"riommu/internal/iova"
@@ -117,6 +118,13 @@ func New(mode Mode, clk *cycles.Clock, model *cycles.Model, mm *mem.PhysMem, hw 
 	}, nil
 }
 
+// SetFaults threads the fault-injection engine into the driver's
+// invalidation queue (dropped/delayed invalidations).
+func (d *Driver) SetFaults(f *faults.Engine) { d.invq.SetFaults(f) }
+
+// InvQueue exposes the invalidation queue (fault-injection statistics).
+func (d *Driver) InvQueue() *iommu.InvQueue { return d.invq }
+
 // SetDeferBatch overrides the deferred-invalidation batch size (default
 // 250); used by the ablation experiments to sweep the safety/performance
 // trade-off.
@@ -211,7 +219,9 @@ func (d *Driver) Unmap(_ int, iovaAddr uint64, size uint32, _ bool) error {
 		d.clk.Charge(cycles.UnmapOther, d.model.UnmapFixed+d.model.DeferUnmapExtra)
 		d.deferQ = append(d.deferQ, deferred{iovaPFN: pfn, pages: pages})
 		if len(d.deferQ) >= d.deferBatch {
-			d.flushDeferred()
+			if err := d.flushDeferred(); err != nil {
+				return err
+			}
 		}
 	} else {
 		// Strict: one queued-invalidation round trip per page — submit the
@@ -246,32 +256,35 @@ func (d *Driver) Unmap(_ int, iovaAddr uint64, size uint32, _ bool) error {
 }
 
 // flushDeferred processes the accumulated invalidations: one global IOTLB
-// flush amortized over the batch, then the queued IOVA deallocations.
-func (d *Driver) flushDeferred() {
+// flush amortized over the batch, then the queued IOVA deallocations. Errors
+// propagate to the caller (an Unmap or FlushPending); the deferred queue is
+// left intact so a later flush can retry.
+func (d *Driver) flushDeferred() error {
 	// One queued global flush for the whole batch. Table 1 attributes the
 	// amortized cost to the queue-management "other" row, keeping
 	// "iotlb inv" at the pure 9-cycle queue insert.
 	if err := d.invq.SubmitGlobal(); err != nil {
-		panic(fmt.Sprintf("baseline: deferred flush: %v", err))
+		return fmt.Errorf("baseline: deferred flush: %w", err)
 	}
 	if err := d.invq.Wait(); err != nil {
-		panic(fmt.Sprintf("baseline: deferred flush: %v", err))
+		return fmt.Errorf("baseline: deferred flush: %w", err)
 	}
 	d.clk.ChargeFree(cycles.UnmapOther, d.model.IOTLBGlobalFlush)
 	for _, q := range d.deferQ {
 		if err := d.alloc.Free(q.iovaPFN); err != nil {
-			// Unreachable by construction: queued IOVAs are live until here.
-			panic(fmt.Sprintf("baseline: deferred free: %v", err))
+			return fmt.Errorf("baseline: deferred free: %w", err)
 		}
 	}
 	d.deferQ = d.deferQ[:0]
+	return nil
 }
 
 // FlushPending forces the deferred queue to drain (device teardown).
-func (d *Driver) FlushPending() {
+func (d *Driver) FlushPending() error {
 	if len(d.deferQ) > 0 {
-		d.flushDeferred()
+		return d.flushDeferred()
 	}
+	return nil
 }
 
 // PendingInvalidations returns the deferred-queue depth (tests).

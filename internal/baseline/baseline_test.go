@@ -14,7 +14,7 @@ var dev = pci.NewBDF(0, 3, 0)
 
 func setup(t *testing.T, mode Mode) (*Driver, *iommu.IOMMU, *mem.PhysMem, *cycles.Clock) {
 	t.Helper()
-	mm := mem.MustNew(4096 * mem.PageSize)
+	mm := mustMem(t, 4096 * mem.PageSize)
 	clk := &cycles.Clock{}
 	model := cycles.DefaultModel()
 	hier, err := pagetable.NewHierarchy(mm)
@@ -171,7 +171,9 @@ func TestDeferStaleWindow(t *testing.T) {
 		t.Errorf("StaleLookups = %d, want 1", hw.TLB().Stats().StaleLookups)
 	}
 	// After the forced flush the window closes.
-	d.FlushPending()
+	if err := d.FlushPending(); err != nil {
+		t.Fatalf("FlushPending: %v", err)
+	}
 	if _, err := hw.Translate(dev, iovaAddr, 64, pci.DirFromDevice); err == nil {
 		t.Error("translation must fault after the deferred flush")
 	}

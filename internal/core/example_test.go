@@ -13,7 +13,7 @@ import (
 // at the ring tail, translate from the device side, unmap with the
 // end-of-burst invalidation.
 func Example() {
-	mm := mem.MustNew(64 * mem.PageSize)
+	mm := mustMem(64 * mem.PageSize)
 	clk := &cycles.Clock{}
 	model := cycles.DefaultModel()
 
@@ -52,7 +52,7 @@ func ExampleIOVA() {
 // caller picks the flat-table entry (an AHCI slot number), and unmaps may
 // then happen in any order.
 func ExampleDriver_MapAt() {
-	mm := mem.MustNew(64 * mem.PageSize)
+	mm := mustMem(64 * mem.PageSize)
 	clk := &cycles.Clock{}
 	model := cycles.DefaultModel()
 	hw := core.New(clk, &model, mm)

@@ -1,0 +1,13 @@
+package core_test
+
+import "riommu/internal/mem"
+
+// mustMem allocates simulated physical memory for the examples; sizes are
+// fixed, so failure is a programming error.
+func mustMem(bytes uint64) *mem.PhysMem {
+	m, err := mem.New(bytes)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}

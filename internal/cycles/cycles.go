@@ -35,6 +35,7 @@ const (
 	Stack                           // TCP/IP + interrupt processing ("other" bar)
 	App                             // application-level processing (Apache, Memcached)
 	DeviceSide                      // device/IOMMU-side work (tracked, not throughput-gating)
+	Recovery                        // fault handling: retries, watchdog resets, degradation
 	numComponents
 )
 
@@ -50,6 +51,7 @@ var componentNames = [...]string{
 	Stack:          "stack",
 	App:            "app",
 	DeviceSide:     "device-side",
+	Recovery:       "recovery",
 }
 
 // String returns the stable human-readable name of the component.

@@ -1,0 +1,17 @@
+package device
+
+import (
+	"testing"
+
+	"riommu/internal/mem"
+)
+
+// mustMem allocates simulated physical memory or fails the test.
+func mustMem(tb testing.TB, bytes uint64) *mem.PhysMem {
+	tb.Helper()
+	m, err := mem.New(bytes)
+	if err != nil {
+		tb.Fatalf("mem.New(%d): %v", bytes, err)
+	}
+	return m
+}

@@ -101,7 +101,10 @@ func NewNIC(profile NICProfile, bdf pci.BDF, eng *dma.Engine, rx, tx *ring.Ring)
 // BDF returns the device's PCI identity.
 func (n *NIC) BDF() pci.BDF { return n.bdf }
 
-// readDescriptor fetches the descriptor at the ring head via DMA.
+// readDescriptor fetches the descriptor at the ring head via DMA. A fault
+// injector may flip a bit in the fetched words (a flaky device's descriptor
+// parser), which typically surfaces later as an I/O page fault on the
+// corrupted buffer address.
 func (n *NIC) readDescriptor(r *ring.Ring, slot uint32) (ring.Descriptor, error) {
 	addr := r.DeviceSlotAddr(slot)
 	w0, err := n.eng.ReadU64(n.bdf, addr)
@@ -112,8 +115,14 @@ func (n *NIC) readDescriptor(r *ring.Ring, slot uint32) (ring.Descriptor, error)
 	if err != nil {
 		return ring.Descriptor{}, err
 	}
+	n.eng.Faults().FlipDescriptor(n.bdf, addr, &w0, &w1)
 	return ring.DecodeWords(w0, w1), nil
 }
+
+// ResetDevice models a device-level reset: statistics that drive watchdog
+// progress detection are preserved, but a hang injected by the fault engine
+// is cleared. Drivers call it from their Recover path.
+func (n *NIC) ResetDevice() { n.eng.Faults().ClearHang(n.bdf) }
 
 // writeDescriptorStatus publishes a completed descriptor back via DMA.
 func (n *NIC) writeDescriptorStatus(r *ring.Ring, slot uint32, d ring.Descriptor) error {
@@ -132,6 +141,9 @@ func (n *NIC) writeDescriptorStatus(r *ring.Ring, slot uint32, d ring.Descriptor
 // with FlagError and stops processing — the OS would reinitialize the
 // device on the corresponding I/O page fault (§4).
 func (n *NIC) ProcessTx(maxPackets int) (int, error) {
+	if n.eng.Faults().HangCheck(n.bdf) {
+		return 0, nil // wedged: silently stops consuming work (watchdog territory)
+	}
 	sent := 0
 	for sent < maxPackets && n.tx.Pending() > 0 {
 		// Peek the head descriptor: an inline descriptor is a whole packet
@@ -202,6 +214,9 @@ func (n *NIC) ProcessTx(maxPackets int) (int, error) {
 // buffer(s): the header into the first descriptor's buffer (when the
 // profile splits packets) and the remainder into the second.
 func (n *NIC) DeliverPacket(data []byte) error {
+	if n.eng.Faults().HangCheck(n.bdf) {
+		return fmt.Errorf("device %s: hung, dropping rx packet", n.Profile.Name)
+	}
 	if int(n.rx.Pending()) < n.Profile.BuffersPerPacket {
 		return fmt.Errorf("device %s: rx ring underrun", n.Profile.Name)
 	}

@@ -107,6 +107,17 @@ func (q *NVMeQueuePair) CQBytes() uint32 { return q.entries * NVMeCompletionByte
 // SetDeviceAddrs records the IOVAs at which the device sees the queues.
 func (q *NVMeQueuePair) SetDeviceAddrs(sq, cq uint64) { q.sqAddr, q.cqAddr = sq, cq }
 
+// Reset returns the queue pair to its initial state: cursors and command
+// ids zeroed and both queues' memory cleared, as an NVMe controller reset
+// does. In-flight commands are lost (the driver resubmits).
+func (q *NVMeQueuePair) Reset() error {
+	q.sqHead, q.sqTail, q.cqTail, q.nextCID = 0, 0, 0, 0
+	if err := q.mm.Fill(q.sqPA, uint64(q.SQBytes()), 0); err != nil {
+		return err
+	}
+	return q.mm.Fill(q.cqPA, uint64(q.CQBytes()), 0)
+}
+
 // Entries returns the queue depth.
 func (q *NVMeQueuePair) Entries() uint32 { return q.entries }
 
@@ -181,6 +192,10 @@ func (n *NVMe) BDF() pci.BDF { return n.bdf }
 // Blocks returns the namespace capacity in blocks.
 func (n *NVMe) Blocks() uint64 { return uint64(len(n.storage)) / uint64(n.BlockSize) }
 
+// ResetDevice models a controller-level reset: an injected hang is cleared
+// so the device resumes consuming its queues. Namespace contents survive.
+func (n *NVMe) ResetDevice() { n.eng.Faults().ClearHang(n.bdf) }
+
 // processPRP performs a scatter-gather transfer: fetch the PRP list (one
 // 8-byte IOVA per 4 KiB segment) through translation, then DMA each
 // segment. Any faulting segment fails the whole command.
@@ -219,6 +234,9 @@ func (n *NVMe) processPRP(listIOVA uint64, off uint64, length uint32, op uint32)
 // ProcessSQ consumes up to max commands from the queue pair, strictly in
 // submission order, performing the data DMAs and posting completions.
 func (n *NVMe) ProcessSQ(q *NVMeQueuePair, max int) (int, error) {
+	if n.eng.Faults().HangCheck(n.bdf) {
+		return 0, nil // wedged: stops consuming the SQ (watchdog territory)
+	}
 	done := 0
 	for done < max && q.Pending() > 0 {
 		cmdAddr := q.sqAddr + uint64(q.sqHead*NVMeCommandBytes)
@@ -235,6 +253,9 @@ func (n *NVMe) ProcessSQ(q *NVMeQueuePair, max int) (int, error) {
 		if err != nil {
 			return done, err
 		}
+		// A flaky controller may mis-parse the fetched command: flip a bit
+		// across the buffer-address/geometry words.
+		n.eng.Faults().FlipDescriptor(n.bdf, cmdAddr, &bufIOVA, &w2)
 		w3, err := n.eng.ReadU64(n.bdf, cmdAddr+24)
 		if err != nil {
 			return done, err

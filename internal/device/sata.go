@@ -61,6 +61,16 @@ func NewSATA(bdf pci.BDF, eng *dma.Engine, blockSize uint32, blocks uint64) *SAT
 // BDF returns the drive's PCI identity.
 func (s *SATA) BDF() pci.BDF { return s.bdf }
 
+// ResetDevice models an AHCI port reset: every issued-but-incomplete command
+// is discarded (the driver resubmits) and an injected hang is cleared.
+func (s *SATA) ResetDevice() {
+	for i := range s.slots {
+		s.slots[i] = nil
+	}
+	s.issued = 0
+	s.eng.Faults().ClearHang(s.bdf)
+}
+
 // FreeSlots returns how many of the 32 slots are unoccupied.
 func (s *SATA) FreeSlots() int {
 	n := 0
@@ -90,6 +100,9 @@ func (s *SATA) Issue(cmd SATACommand) (int, error) {
 // completion order. This is the AHCI behaviour that breaks the sequential
 // (un)mapping premise rIOMMU relies on.
 func (s *SATA) CompleteAll(rng *rand.Rand) ([]int, error) {
+	if s.eng.Faults().HangCheck(s.bdf) {
+		return nil, nil // wedged: issued commands sit in their slots (watchdog territory)
+	}
 	var order []int
 	for i := 0; i < SATASlots; i++ {
 		if s.issued&(1<<i) != 0 {

@@ -8,6 +8,7 @@ package dma
 import (
 	"fmt"
 
+	"riommu/internal/faults"
 	"riommu/internal/mem"
 	"riommu/internal/pci"
 )
@@ -25,9 +26,12 @@ type Translator interface {
 // supplement to — not a replacement for — the baseline IOMMU: ring-based
 // devices sit behind an rIOMMU while e.g. RDMA NICs (whose persistent
 // full-memory mappings rIOMMU cannot serve) stay behind the conventional
-// one. A device with no route has no IOMMU path at all and faults.
+// one. A device with no route has no IOMMU path at all and faults, unless a
+// default unit is installed (graceful degradation reroutes one device while
+// the rest keep their original unit through the default).
 type Router struct {
 	routes map[pci.BDF]Translator
+	def    Translator
 }
 
 // NewRouter returns an empty router.
@@ -38,19 +42,26 @@ func NewRouter() *Router {
 // Route binds a device to a translation unit.
 func (r *Router) Route(bdf pci.BDF, tr Translator) { r.routes[bdf] = tr }
 
+// SetDefault installs the unit used by devices with no explicit route.
+func (r *Router) SetDefault(tr Translator) { r.def = tr }
+
 // Translate dispatches to the device's unit.
 func (r *Router) Translate(bdf pci.BDF, iova uint64, size uint32, dir pci.Dir) (mem.PA, error) {
 	tr, ok := r.routes[bdf]
 	if !ok {
-		return 0, fmt.Errorf("dma: no IOMMU route for device %s", bdf)
+		if r.def == nil {
+			return 0, fmt.Errorf("dma: no IOMMU route for device %s", bdf)
+		}
+		tr = r.def
 	}
 	return tr.Translate(bdf, iova, size, dir)
 }
 
 // Engine performs device-initiated memory accesses through a Translator.
 type Engine struct {
-	mm *mem.PhysMem
-	tr Translator
+	mm  *mem.PhysMem
+	tr  Translator
+	inj *faults.Engine
 
 	// Reads/Writes/Bytes count completed DMA operations for statistics.
 	Reads, Writes, Bytes uint64
@@ -66,6 +77,15 @@ func (e *Engine) Translator() Translator { return e.tr }
 
 // SetTranslator swaps the translation path (used when comparing modes).
 func (e *Engine) SetTranslator(tr Translator) { e.tr = tr }
+
+// SetFaults installs the fault-injection engine. Device models reach it via
+// Faults(), so wiring the engine here threads injection through every layer
+// that accesses memory on the device's behalf.
+func (e *Engine) SetFaults(f *faults.Engine) { e.inj = f }
+
+// Faults returns the fault-injection engine (nil when disabled; all its
+// methods are nil-safe).
+func (e *Engine) Faults() *faults.Engine { return e.inj }
 
 // chunks invokes f once per maximal sub-access that does not cross a 4 KiB
 // IOVA boundary. off is the cursor into the caller's buffer.
@@ -91,6 +111,7 @@ func (e *Engine) Read(bdf pci.BDF, iova uint64, buf []byte) error {
 	if len(buf) == 0 {
 		return fmt.Errorf("dma: zero-length read")
 	}
+	iova, _ = e.inj.StaleDMA(bdf, iova)
 	err := chunks(iova, len(buf), func(iova uint64, off, n int) error {
 		pa, err := e.tr.Translate(bdf, iova, uint32(n), pci.DirToDevice)
 		if err != nil {
@@ -112,6 +133,7 @@ func (e *Engine) Write(bdf pci.BDF, iova uint64, data []byte) error {
 	if len(data) == 0 {
 		return fmt.Errorf("dma: zero-length write")
 	}
+	iova, _ = e.inj.StaleDMA(bdf, iova)
 	err := chunks(iova, len(data), func(iova uint64, off, n int) error {
 		pa, err := e.tr.Translate(bdf, iova, uint32(n), pci.DirFromDevice)
 		if err != nil {

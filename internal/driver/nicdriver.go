@@ -292,14 +292,14 @@ func (d *NICDriver) ReapTx() (int, error) {
 				return 0, fmt.Errorf("driver: tx unmap slot %d: %w", slot, err)
 			}
 			buffered++
-		}
-		if _, err := d.tx.Reap(slot); err != nil {
-			return 0, err
-		}
-		if !m.inline {
+			// Retire the slot with the unmap so a failure below cannot
+			// leave a live-looking slot whose mapping is already gone.
 			d.pool.Put(m.pa)
 		}
 		d.txSlots[slot] = mapped{}
+		if _, err := d.tx.Reap(slot); err != nil {
+			return 0, err
+		}
 	}
 	pkts += buffered / d.profile.BuffersPerPacket
 	d.TxReaped += uint64(pkts)
@@ -340,21 +340,24 @@ func (d *NICDriver) ReapRx() ([][]byte, error) {
 			return nil, err
 		}
 		m := d.rxSlots[slot]
-		// Copy the received piece out before the unmap hands the buffer
-		// back (per the DMA API, the driver must not touch the buffer
-		// earlier; see §2.1 footnote).
+		// The unmap must precede touching the buffer (per the DMA API the
+		// driver must not read it earlier; see §2.1 footnote). The slot
+		// state is retired with it, so a failure on the copy below cannot
+		// leave a live-looking slot whose mapping is already gone (Recover
+		// would double-unmap).
 		if err := d.prot.Unmap(d.ringRx, m.iova, m.size, i == len(done)-1); err != nil {
 			return nil, fmt.Errorf("driver: rx unmap slot %d: %w", slot, err)
 		}
+		d.rxSlots[slot] = mapped{}
 		if desc.Len > 0 {
 			piece, err := d.mm.Read(m.pa, uint64(desc.Len))
 			if err != nil {
+				d.pool.Put(m.pa)
 				return nil, err
 			}
 			frame = append(frame, piece...)
 		}
 		d.pool.Put(m.pa)
-		d.rxSlots[slot] = mapped{}
 		if (i+1)%d.profile.BuffersPerPacket == 0 {
 			frames = append(frames, frame)
 			frame = nil
@@ -371,13 +374,14 @@ func (d *NICDriver) ReapRx() ([][]byte, error) {
 // (§4): every live target-buffer mapping is torn down, the descriptor rings
 // are reset, and the Rx ring is refilled with freshly mapped buffers.
 // Outstanding packets are lost — exactly the semantics of a device reset.
+// Unmaps are best-effort: a reset must terminate even when the fault left
+// the mapping state inconsistent.
 func (d *NICDriver) Recover() error {
+	d.nic.ResetDevice()
 	for slot := range d.txSlots {
 		m := d.txSlots[slot]
 		if m.live && !m.inline {
-			if err := d.prot.Unmap(d.ringTx, m.iova, m.size, true); err != nil {
-				return fmt.Errorf("driver: recover tx slot %d: %w", slot, err)
-			}
+			_ = d.prot.Unmap(d.ringTx, m.iova, m.size, true)
 			d.pool.Put(m.pa)
 		}
 		d.txSlots[slot] = mapped{}
@@ -385,12 +389,60 @@ func (d *NICDriver) Recover() error {
 	for slot := range d.rxSlots {
 		m := d.rxSlots[slot]
 		if m.live {
-			if err := d.prot.Unmap(d.ringRx, m.iova, m.size, true); err != nil {
-				return fmt.Errorf("driver: recover rx slot %d: %w", slot, err)
-			}
+			_ = d.prot.Unmap(d.ringRx, m.iova, m.size, true)
 			d.pool.Put(m.pa)
 		}
 		d.rxSlots[slot] = mapped{}
+	}
+	if err := d.rx.Reset(); err != nil {
+		return err
+	}
+	if err := d.tx.Reset(); err != nil {
+		return err
+	}
+	d.rxReap, d.txReap = 0, 0
+	return d.fillRx()
+}
+
+// Progress returns the device's monotonic forward-progress counter for the
+// recovery watchdog: packets moved in either direction.
+func (d *NICDriver) Progress() uint64 { return d.nic.TxPackets + d.nic.RxPackets }
+
+// Reattach migrates the driver to a different protection unit (graceful
+// degradation: e.g. from rIOMMU to the baseline strict IOMMU after repeated
+// faults). Mappings under the old unit are torn down best-effort — it may be
+// the very thing that is misbehaving — then the rings are remapped and the
+// Rx ring refilled under the new one.
+func (d *NICDriver) Reattach(prot Protection) error {
+	d.nic.ResetDevice()
+	for slot := range d.txSlots {
+		m := d.txSlots[slot]
+		if m.live && !m.inline {
+			_ = d.prot.Unmap(d.ringTx, m.iova, m.size, true)
+			d.pool.Put(m.pa)
+		}
+		d.txSlots[slot] = mapped{}
+	}
+	for slot := range d.rxSlots {
+		m := d.rxSlots[slot]
+		if m.live {
+			_ = d.prot.Unmap(d.ringRx, m.iova, m.size, true)
+			d.pool.Put(m.pa)
+		}
+		d.rxSlots[slot] = mapped{}
+	}
+	for i := len(d.staticIOVAs) - 1; i >= 0; i-- {
+		_ = d.prot.Unmap(RingStatic, d.staticIOVAs[i].iova, d.staticIOVAs[i].size, i == 0)
+	}
+	d.staticIOVAs = d.staticIOVAs[:0]
+	d.prot = prot
+	for _, r := range []*ring.Ring{d.rx, d.tx} {
+		iova, err := prot.Map(RingStatic, r.BasePA(), r.Bytes(), pci.DirBidi)
+		if err != nil {
+			return fmt.Errorf("driver: remapping ring memory: %w", err)
+		}
+		r.SetDeviceAddr(iova)
+		d.staticIOVAs = append(d.staticIOVAs, mapped{pa: r.BasePA(), iova: iova, size: r.Bytes()})
 	}
 	if err := d.rx.Reset(); err != nil {
 		return err

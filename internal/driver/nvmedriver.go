@@ -190,6 +190,66 @@ func (d *NVMeDriver) Poll(max int) ([]NVMeCompletion, error) {
 	return done, nil
 }
 
+// Recover reinitializes the device path after a fault, as the OS does on an
+// I/O page fault (§4): every in-flight command's mapping is torn down (in
+// submission order, deterministically — the pending map is never ranged),
+// buffers return to the pool, the queue pair and controller are reset.
+// In-flight commands are lost; the caller resubmits.
+func (d *NVMeDriver) Recover() error {
+	for i, cid := range d.order {
+		cmd, ok := d.pending[cid]
+		if !ok {
+			continue
+		}
+		_ = d.prot.Unmap(RingRx, cmd.m.iova, cmd.m.size, i == len(d.order)-1)
+		d.pool.Put(cmd.m.pa)
+	}
+	d.pending = make(map[uint32]nvmeCmd)
+	d.order = nil
+	d.seen = 0
+	d.ssd.ResetDevice()
+	return d.q.Reset()
+}
+
+// Progress returns the device's forward-progress counter for the watchdog.
+func (d *NVMeDriver) Progress() uint64 { return d.ssd.Commands }
+
+// Reattach migrates the driver to a different protection unit (graceful
+// degradation), tearing down in-flight and persistent queue mappings under
+// the old unit best-effort and remapping the queues under the new one.
+func (d *NVMeDriver) Reattach(prot Protection) error {
+	for i, cid := range d.order {
+		cmd, ok := d.pending[cid]
+		if !ok {
+			continue
+		}
+		_ = d.prot.Unmap(RingRx, cmd.m.iova, cmd.m.size, i == len(d.order)-1)
+		d.pool.Put(cmd.m.pa)
+	}
+	d.pending = make(map[uint32]nvmeCmd)
+	d.order = nil
+	d.seen = 0
+	for i := len(d.staticIOVAs) - 1; i >= 0; i-- {
+		_ = d.prot.Unmap(RingStatic, d.staticIOVAs[i].iova, d.staticIOVAs[i].size, i == 0)
+	}
+	d.prot = prot
+	sqIOVA, err := prot.Map(RingStatic, d.q.SQPA(), d.q.SQBytes(), pci.DirBidi)
+	if err != nil {
+		return fmt.Errorf("driver: remapping NVMe SQ: %w", err)
+	}
+	cqIOVA, err := prot.Map(RingStatic, d.q.CQPA(), d.q.CQBytes(), pci.DirBidi)
+	if err != nil {
+		return fmt.Errorf("driver: remapping NVMe CQ: %w", err)
+	}
+	d.q.SetDeviceAddrs(sqIOVA, cqIOVA)
+	d.staticIOVAs = []mapped{
+		{pa: d.q.SQPA(), iova: sqIOVA, size: d.q.SQBytes()},
+		{pa: d.q.CQPA(), iova: cqIOVA, size: d.q.CQBytes()},
+	}
+	d.ssd.ResetDevice()
+	return d.q.Reset()
+}
+
 // Teardown unmaps everything, including the persistent queue mappings.
 func (d *NVMeDriver) Teardown() error {
 	if len(d.pending) > 0 {

@@ -1,0 +1,213 @@
+package driver
+
+import (
+	"fmt"
+
+	"riommu/internal/cycles"
+	"riommu/internal/pci"
+)
+
+// This file implements the driver-level fault-recovery machinery layered on
+// the fault-injection engine (package faults): bounded retry with
+// virtual-clock backoff, a watchdog that detects hung devices by the absence
+// of forward progress, and graceful degradation to a safer protection mode
+// when a device keeps faulting. Everything is charged to the virtual clock's
+// Recovery component, so campaigns can report exactly how many cycles fault
+// handling costs (cmd/riommu-faults).
+
+// Recovery action codes, carried in trace EvRecovery records' Dir field.
+const (
+	ActRetry   uint8 = 1 // an operation was retried after a fault
+	ActReset   uint8 = 2 // the device was reinitialized (Recover)
+	ActDegrade uint8 = 3 // protection was degraded to a stricter mode
+)
+
+// RecoverySink observes recovery actions; *trace.Trace satisfies it.
+type RecoverySink interface {
+	RecordRecovery(action uint8, bdf pci.BDF)
+}
+
+// RecoveryStats aggregates a Supervisor's fault-handling activity.
+type RecoveryStats struct {
+	Retries       uint64 // individual retry attempts
+	Recoveries    uint64 // successful device reinitializations
+	WatchdogFires uint64 // hangs detected by the watchdog
+	Degradations  uint64 // protection-mode degradations performed
+	Unrecovered   uint64 // operations abandoned after exhausting retries
+}
+
+// RetryPolicy bounds the retry loop: at most MaxAttempts tries of the
+// operation, with a virtual-clock backoff that starts at BackoffCycles and
+// doubles after each failed attempt (charged to cycles.Recovery).
+type RetryPolicy struct {
+	MaxAttempts   int
+	BackoffCycles uint64
+}
+
+// DefaultRetryPolicy retries three times starting at a 1,000-cycle backoff —
+// small next to a device reset (~ResetCycles) but enough to model the
+// latency cost of fault handling.
+var DefaultRetryPolicy = RetryPolicy{MaxAttempts: 3, BackoffCycles: 1_000}
+
+// Recoverable is the driver capability the recovery layer needs: a full
+// device/mapping reinitialization (the OS response to an I/O page fault, §4)
+// and a monotonic progress counter the watchdog samples.
+type Recoverable interface {
+	Recover() error
+	Progress() uint64
+}
+
+// Watchdog detects hung devices: each Check samples the driver's progress
+// counter and reports a hang when it has not advanced since the previous
+// Check. Every check charges CheckCycles to the Recovery component — the
+// periodic timer work a real watchdog costs even when nothing is wrong.
+type Watchdog struct {
+	clk *cycles.Clock
+
+	// CheckCycles is charged per Check (the timer callback).
+	CheckCycles uint64
+
+	last   uint64
+	primed bool
+	Fires  uint64 // hangs detected
+	Checks uint64 // total checks performed
+}
+
+// NewWatchdog creates a watchdog charging the given clock.
+func NewWatchdog(clk *cycles.Clock) *Watchdog {
+	return &Watchdog{clk: clk, CheckCycles: 200}
+}
+
+// Check samples progress and reports whether the device appears hung (no
+// forward progress since the previous Check). The first call only primes the
+// baseline and never fires.
+func (w *Watchdog) Check(progress uint64) bool {
+	w.clk.Charge(cycles.Recovery, w.CheckCycles)
+	w.Checks++
+	hung := w.primed && progress == w.last
+	w.last, w.primed = progress, true
+	if hung {
+		w.Fires++
+	}
+	return hung
+}
+
+// Reset re-primes the watchdog (after a device reinitialization, whose
+// progress counters may move arbitrarily).
+func (w *Watchdog) Reset() { w.primed = false }
+
+// Supervisor ties the pieces together for one device: it runs driver
+// operations under the retry policy, reinitializes the device when retries
+// alone cannot clear the fault, watches for hangs, and — when the device
+// keeps needing recovery — degrades its protection via DegradeFn.
+type Supervisor struct {
+	clk    *cycles.Clock
+	bdf    pci.BDF
+	target Recoverable
+
+	Policy   RetryPolicy
+	Watchdog *Watchdog
+
+	// ResetCycles is the cost of one device reinitialization (Recover):
+	// quiescing the device, tearing down and re-creating its mappings.
+	ResetCycles uint64
+
+	// DegradeFn, when set, switches the device to a stricter/safer
+	// protection mode (e.g. rIOMMU -> baseline strict); it is invoked once,
+	// after DegradeAfter device recoveries, and costs DegradeCycles.
+	DegradeFn     func() error
+	DegradeAfter  uint64
+	DegradeCycles uint64
+	degraded      bool
+
+	// Sink, when non-nil, records every recovery action (typically
+	// *trace.Trace).
+	Sink RecoverySink
+
+	Stats RecoveryStats
+}
+
+// NewSupervisor wraps a recoverable driver for the device bdf.
+func NewSupervisor(clk *cycles.Clock, bdf pci.BDF, target Recoverable) *Supervisor {
+	return &Supervisor{
+		clk:           clk,
+		bdf:           bdf,
+		target:        target,
+		Policy:        DefaultRetryPolicy,
+		Watchdog:      NewWatchdog(clk),
+		ResetCycles:   50_000, // ~16 µs at 3.1 GHz: ring teardown + refill
+		DegradeAfter:  8,
+		DegradeCycles: 200_000, // rebuild page tables + remap under new unit
+	}
+}
+
+// Degraded reports whether DegradeFn has run.
+func (s *Supervisor) Degraded() bool { return s.degraded }
+
+func (s *Supervisor) record(action uint8) {
+	if s.Sink != nil {
+		s.Sink.RecordRecovery(action, s.bdf)
+	}
+}
+
+// reinit performs one charged device recovery and the degradation check.
+func (s *Supervisor) reinit() error {
+	s.clk.Charge(cycles.Recovery, s.ResetCycles)
+	s.record(ActReset)
+	if err := s.target.Recover(); err != nil {
+		return err
+	}
+	s.Stats.Recoveries++
+	s.Watchdog.Reset()
+	if !s.degraded && s.DegradeFn != nil && s.Stats.Recoveries >= s.DegradeAfter {
+		s.clk.Charge(cycles.Recovery, s.DegradeCycles)
+		s.record(ActDegrade)
+		if err := s.DegradeFn(); err != nil {
+			return fmt.Errorf("driver: degrading protection: %w", err)
+		}
+		s.degraded = true
+		s.Stats.Degradations++
+	}
+	return nil
+}
+
+// Do runs op under the retry policy: after each failure it backs off
+// (doubling), reinitializes the device, and retries. When every attempt
+// fails the fault is counted unrecovered and the last error returned.
+func (s *Supervisor) Do(op func() error) error {
+	attempts := s.Policy.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	backoff := s.Policy.BackoffCycles
+	var err error
+	for try := 0; try < attempts; try++ {
+		if try > 0 {
+			s.clk.Charge(cycles.Recovery, backoff)
+			backoff *= 2
+			s.Stats.Retries++
+			s.record(ActRetry)
+			if rerr := s.reinit(); rerr != nil {
+				return fmt.Errorf("driver: recovery failed: %w (after %v)", rerr, err)
+			}
+		}
+		if err = op(); err == nil {
+			return nil
+		}
+	}
+	s.Stats.Unrecovered++
+	return fmt.Errorf("driver: unrecovered after %d attempts: %w", attempts, err)
+}
+
+// Watch runs one watchdog check; on a detected hang it reinitializes the
+// device. It reports whether a hang was handled.
+func (s *Supervisor) Watch() (bool, error) {
+	if !s.Watchdog.Check(s.target.Progress()) {
+		return false, nil
+	}
+	s.Stats.WatchdogFires++
+	if err := s.reinit(); err != nil {
+		return true, fmt.Errorf("driver: watchdog recovery: %w", err)
+	}
+	return true, nil
+}

@@ -167,6 +167,32 @@ func (d *SATADriver) CompleteAll(rng *rand.Rand) ([]SATAResult, error) {
 	return out, nil
 }
 
+// Recover reinitializes the drive after a fault: every issued command's
+// mapping is torn down (ascending slot order, deterministically), buffers
+// return to the pool, and the port is reset. In-flight commands are lost.
+func (d *SATADriver) Recover() error {
+	last := -1
+	for i := 0; i < device.SATASlots; i++ {
+		if d.slots[i] != nil {
+			last = i
+		}
+	}
+	for i := 0; i < device.SATASlots; i++ {
+		cmd := d.slots[i]
+		if cmd == nil {
+			continue
+		}
+		_ = d.prot.Unmap(RingRx, cmd.m.iova, cmd.m.size, i == last)
+		d.pool.Put(cmd.m.pa)
+		d.slots[i] = nil
+	}
+	d.disk.ResetDevice()
+	return nil
+}
+
+// Progress returns the drive's forward-progress counter for the watchdog.
+func (d *SATADriver) Progress() uint64 { return d.disk.Commands }
+
 // Teardown drains and releases buffers.
 func (d *SATADriver) Teardown(rng *rand.Rand) error {
 	if _, err := d.CompleteAll(rng); err != nil {

@@ -3,6 +3,7 @@ package iommu
 import (
 	"fmt"
 
+	"riommu/internal/faults"
 	"riommu/internal/iotlb"
 	"riommu/internal/mem"
 	"riommu/internal/pci"
@@ -47,7 +48,20 @@ type InvQueue struct {
 	Processed uint64
 	// Waits counts completed wait descriptors.
 	Waits uint64
+
+	// inj, when set, may drop or delay entry/global invalidations (modeling
+	// hardware errata); wait descriptors are never perturbed, so the OS spin
+	// loop always terminates. delayed holds invalidations deferred to the
+	// start of the next drain.
+	inj           *faults.Engine
+	delayed       []iotlb.Key
+	delayedGlobal bool
+	// Dropped and Delayed count perturbed invalidation descriptors.
+	Dropped, Delayed uint64
 }
+
+// SetFaults installs the fault-injection engine (nil disables injection).
+func (q *InvQueue) SetFaults(f *faults.Engine) { q.inj = f }
 
 // NewInvQueue allocates a one-page queue (256 descriptors) plus a status word.
 func NewInvQueue(mm *mem.PhysMem, tlb *iotlb.IOTLB) (*InvQueue, error) {
@@ -127,8 +141,20 @@ func (q *InvQueue) Wait() error {
 	return nil
 }
 
-// drain is the hardware side: consume descriptors from head to tail.
+// drain is the hardware side: consume descriptors from head to tail. Any
+// invalidations a fault deferred during the previous drain are applied first,
+// so a delayed invalidation opens exactly a one-drain stale window.
 func (q *InvQueue) drain() error {
+	if q.delayedGlobal {
+		q.tlb.Flush()
+		q.delayedGlobal = false
+		q.Processed++
+	}
+	for _, k := range q.delayed {
+		q.tlb.Invalidate(k)
+		q.Processed++
+	}
+	q.delayed = q.delayed[:0]
 	for q.head != q.tail {
 		pa := q.slotPA(q.head)
 		w0, err := q.mm.ReadU64(pa)
@@ -141,11 +167,26 @@ func (q *InvQueue) drain() error {
 		}
 		switch uint8(w0) {
 		case invTypeEntry:
-			q.tlb.Invalidate(iotlb.Key{BDF: pci.BDF(w0 >> 16), IOVAPFN: w1})
-			q.Processed++
+			key := iotlb.Key{BDF: pci.BDF(w0 >> 16), IOVAPFN: w1}
+			if q.inj.DropInvalidation(key.BDF, w1) {
+				q.Dropped++
+			} else if q.inj.DelayInvalidation(key.BDF, w1) {
+				q.delayed = append(q.delayed, key)
+				q.Delayed++
+			} else {
+				q.tlb.Invalidate(key)
+				q.Processed++
+			}
 		case invTypeGlobal:
-			q.tlb.Flush()
-			q.Processed++
+			if q.inj.DropInvalidation(0, 0) {
+				q.Dropped++
+			} else if q.inj.DelayInvalidation(0, 0) {
+				q.delayedGlobal = true
+				q.Delayed++
+			} else {
+				q.tlb.Flush()
+				q.Processed++
+			}
 		case invTypeWait:
 			if err := q.mm.WriteU64(mem.PA(w1), 1); err != nil {
 				return err

@@ -1,0 +1,13 @@
+package mem
+
+import "testing"
+
+// mustMem allocates simulated physical memory or fails the test.
+func mustMem(tb testing.TB, bytes uint64) *PhysMem {
+	tb.Helper()
+	m, err := New(bytes)
+	if err != nil {
+		tb.Fatalf("mem.New(%d): %v", bytes, err)
+	}
+	return m
+}

@@ -47,6 +47,19 @@ func (e *AccessError) Error() string {
 	return fmt.Sprintf("mem: %s [pa=%#x size=%d]: %s", e.Op, e.Addr, e.Size, e.Why)
 }
 
+// FaultHook is the memory fault-injection interface (implemented by
+// faults.Engine). It is consulted only on the bulk Read/ReadInto/Write
+// paths — the data paths DMAs and payload copies use — so metadata accessed
+// through the typed accessors (page tables, queue cursors) stays intact and
+// descriptor corruption is modeled separately at the device layer.
+type FaultHook interface {
+	// ReadFault may corrupt buf, the data just read from pa, in place.
+	ReadFault(pa PA, buf []byte) bool
+	// WriteFault may corrupt stored, the bytes just written at pa, in
+	// place, and reports whether the cacheline at pa must be poisoned.
+	WriteFault(pa PA, stored []byte) (poison bool)
+}
+
 // PhysMem is a simulated physical memory with a simple page-frame allocator.
 // Frame 0 is reserved (so a zero PA can act as a null pointer in page
 // tables). PhysMem is not safe for concurrent use.
@@ -56,6 +69,9 @@ type PhysMem struct {
 	free     []PFN // LIFO free list
 	alloced  []bool
 	pinCount []uint32
+
+	hook   FaultHook
+	poison map[uint64]struct{} // poisoned cacheline indices
 }
 
 // New creates a physical memory of the given size in bytes, which must be a
@@ -81,13 +97,53 @@ func New(size uint64) (*PhysMem, error) {
 	return m, nil
 }
 
-// MustNew is New but panics on error; for tests and examples with constant sizes.
-func MustNew(size uint64) *PhysMem {
-	m, err := New(size)
-	if err != nil {
-		panic(err)
+// SetFaultHook installs (or, with nil, removes) the fault-injection hook.
+func (m *PhysMem) SetFaultHook(h FaultHook) { m.hook = h }
+
+// PoisonCacheline marks the cacheline containing pa poisoned: bulk reads
+// covering it fail with an AccessError until the line is rewritten (the
+// semantics of an uncorrectable ECC error).
+func (m *PhysMem) PoisonCacheline(pa PA) {
+	if m.poison == nil {
+		m.poison = make(map[uint64]struct{})
 	}
-	return m
+	m.poison[uint64(pa)/CachelineSize] = struct{}{}
+}
+
+// ClearPoison removes poison from every cacheline the range touches.
+// Writes, fills, and frame allocation clear poison implicitly.
+func (m *PhysMem) ClearPoison(pa PA, size uint64) {
+	if len(m.poison) == 0 || size == 0 {
+		return
+	}
+	first := uint64(pa) / CachelineSize
+	last := (uint64(pa) + size - 1) / CachelineSize
+	for l := first; l <= last; l++ {
+		delete(m.poison, l)
+	}
+}
+
+// PoisonedRange reports whether any cacheline in [pa, pa+size) is poisoned.
+func (m *PhysMem) PoisonedRange(pa PA, size uint64) bool {
+	if len(m.poison) == 0 || size == 0 {
+		return false
+	}
+	first := uint64(pa) / CachelineSize
+	last := (uint64(pa) + size - 1) / CachelineSize
+	for l := first; l <= last; l++ {
+		if _, ok := m.poison[l]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// checkPoison fails a read overlapping a poisoned cacheline.
+func (m *PhysMem) checkPoison(pa PA, size uint64) error {
+	if m.PoisonedRange(pa, size) {
+		return &AccessError{Op: "read", Addr: pa, Size: size, Why: "poisoned cacheline (uncorrectable error)"}
+	}
+	return nil
 }
 
 // Size returns the total size of the memory in bytes.
@@ -109,6 +165,7 @@ func (m *PhysMem) AllocFrame() (PFN, error) {
 	m.alloced[f] = true
 	base := uint64(f.PA())
 	clear(m.data[base : base+PageSize])
+	m.ClearPoison(f.PA(), PageSize)
 	return f, nil
 }
 
@@ -136,6 +193,7 @@ func (m *PhysMem) AllocFrames(n int) (PFN, error) {
 			}
 			base := uint64(first.PA())
 			clear(m.data[base : base+uint64(n)*PageSize])
+			m.ClearPoison(first.PA(), uint64(n)*PageSize)
 			return first, nil
 		}
 	}
@@ -231,8 +289,14 @@ func (m *PhysMem) Read(pa PA, size uint64) ([]byte, error) {
 	if err := m.checkRange("read", pa, size); err != nil {
 		return nil, err
 	}
+	if err := m.checkPoison(pa, size); err != nil {
+		return nil, err
+	}
 	out := make([]byte, size)
 	copy(out, m.data[pa:uint64(pa)+size])
+	if m.hook != nil {
+		m.hook.ReadFault(pa, out)
+	}
 	return out, nil
 }
 
@@ -241,16 +305,29 @@ func (m *PhysMem) ReadInto(pa PA, dst []byte) error {
 	if err := m.checkRange("read", pa, uint64(len(dst))); err != nil {
 		return err
 	}
+	if err := m.checkPoison(pa, uint64(len(dst))); err != nil {
+		return err
+	}
 	copy(dst, m.data[pa:])
+	if m.hook != nil {
+		m.hook.ReadFault(pa, dst)
+	}
 	return nil
 }
 
-// Write copies src into memory at pa.
+// Write copies src into memory at pa. A write repairs any poison its range
+// covers; the fault hook may corrupt the stored bytes or re-poison the line.
 func (m *PhysMem) Write(pa PA, src []byte) error {
 	if err := m.checkRange("write", pa, uint64(len(src))); err != nil {
 		return err
 	}
 	copy(m.data[pa:], src)
+	m.ClearPoison(pa, uint64(len(src)))
+	if m.hook != nil {
+		if m.hook.WriteFault(pa, m.data[pa:uint64(pa)+uint64(len(src))]) {
+			m.PoisonCacheline(pa)
+		}
+	}
 	return nil
 }
 
@@ -288,7 +365,7 @@ func (m *PhysMem) WriteU32(pa PA, v uint32) error {
 	return nil
 }
 
-// Fill sets size bytes at pa to b.
+// Fill sets size bytes at pa to b, repairing any poison in the range.
 func (m *PhysMem) Fill(pa PA, size uint64, b byte) error {
 	if err := m.checkRange("write", pa, size); err != nil {
 		return err
@@ -296,6 +373,7 @@ func (m *PhysMem) Fill(pa PA, size uint64, b byte) error {
 	for i := uint64(0); i < size; i++ {
 		m.data[uint64(pa)+i] = b
 	}
+	m.ClearPoison(pa, size)
 	return nil
 }
 

@@ -21,6 +21,7 @@ import (
 	"riommu/internal/device"
 	"riommu/internal/dma"
 	"riommu/internal/driver"
+	"riommu/internal/faults"
 	"riommu/internal/iommu"
 	"riommu/internal/mem"
 	"riommu/internal/pagetable"
@@ -101,8 +102,12 @@ type System struct {
 	Eng   *dma.Engine
 
 	// Populated per mode.
-	BaseHW *iommu.IOMMU // baseline modes, HWpt, SWpt
+	BaseHW *iommu.IOMMU // baseline modes, HWpt, SWpt (and lazily on degrade)
 	RHW    *core.RIOMMU // rIOMMU modes
+
+	// FaultEng is the fault-injection engine installed by EnableFaults
+	// (nil when injection is disabled; its methods are nil-safe).
+	FaultEng *faults.Engine
 
 	// Protections records the protection driver created for each device,
 	// so experiments can reach mode-specific knobs (e.g. the deferred

@@ -164,6 +164,45 @@ func (t *Table) String() string {
 	return b.String()
 }
 
+// Counters is an insertion-ordered named-counter set: iteration follows the
+// order in which names were first added, so reports built from it are
+// deterministic (unlike ranging over a map).
+type Counters struct {
+	names  []string
+	values map[string]uint64
+}
+
+// Add increments name by n, registering it on first use.
+func (c *Counters) Add(name string, n uint64) {
+	if c.values == nil {
+		c.values = make(map[string]uint64)
+	}
+	if _, ok := c.values[name]; !ok {
+		c.names = append(c.names, name)
+	}
+	c.values[name] += n
+}
+
+// Get returns the counter's value (0 for unknown names).
+func (c *Counters) Get(name string) uint64 {
+	if c.values == nil {
+		return 0
+	}
+	return c.values[name]
+}
+
+// Names returns the counter names in first-added order.
+func (c *Counters) Names() []string { return append([]string(nil), c.names...) }
+
+// Table renders the counters as a two-column table.
+func (c *Counters) Table(title string) *Table {
+	t := NewTable(title, "counter", "value")
+	for _, n := range c.names {
+		t.Row(n, c.values[n])
+	}
+	return t
+}
+
 // Ratio formats a/b as the paper's normalized "x divided by y" cells.
 func Ratio(a, b float64) string {
 	if b == 0 {

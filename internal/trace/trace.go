@@ -27,6 +27,12 @@ const (
 	EvMap
 	// EvUnmap is an OS unmap (invalidation) of an IOVA page.
 	EvUnmap
+	// EvFault is an injected fault; the fault class rides in the Dir field
+	// (the record layout has no spare byte) and Page holds the fault address.
+	EvFault
+	// EvRecovery is a driver recovery action; the action code rides in the
+	// Dir field.
+	EvRecovery
 )
 
 func (k EventKind) String() string {
@@ -37,6 +43,10 @@ func (k EventKind) String() string {
 		return "map"
 	case EvUnmap:
 		return "unmap"
+	case EvFault:
+		return "fault"
+	case EvRecovery:
+		return "recovery"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -60,6 +70,20 @@ type Trace struct {
 // Record appends an event.
 func (t *Trace) Record(kind EventKind, bdf pci.BDF, iova uint64, dir pci.Dir) {
 	t.Events = append(t.Events, Event{Kind: kind, BDF: bdf, Page: iova >> mem.PageShift, Dir: dir})
+}
+
+// RecordFault satisfies the fault engine's Sink interface: injections appear
+// inline in the trace, interleaved with the DMAs they perturb. The class is
+// carried in the Dir field and the raw fault address in Page (not shifted:
+// fault addresses — descriptor slots, cachelines — are finer than pages).
+func (t *Trace) RecordFault(class uint8, bdf pci.BDF, addr uint64) {
+	t.Events = append(t.Events, Event{Kind: EvFault, BDF: bdf, Page: addr, Dir: pci.Dir(class)})
+}
+
+// RecordRecovery logs a driver recovery action (retry, reset, degrade…); the
+// action code is carried in the Dir field.
+func (t *Trace) RecordRecovery(action uint8, bdf pci.BDF) {
+	t.Events = append(t.Events, Event{Kind: EvRecovery, BDF: bdf, Dir: pci.Dir(action)})
 }
 
 // Len returns the number of events.
