@@ -1,6 +1,8 @@
 GO ?= go
+FUZZTIME ?= 10s
+BENCH_GOLDEN ?= BENCH_golden.json
 
-.PHONY: all build test tier1 vet race ci fuzz clean
+.PHONY: all build test tier1 vet fmt-check race ci ci-local fuzz fuzz-smoke bench-json bench-check clean
 
 all: tier1
 
@@ -17,6 +19,11 @@ tier1: build test
 vet:
 	$(GO) vet ./...
 
+# fmt-check fails (and lists the offenders) if any file is not gofmt-clean.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 race:
 	$(GO) test -race ./...
 
@@ -24,10 +31,39 @@ race:
 # race detector.
 ci: build vet race
 
+# ci-local mirrors every gate of .github/workflows/ci.yml in one invocation.
+ci-local: build vet fmt-check test race fuzz-smoke bench-check
+
 # A short bounded run of the fault-determinism fuzzer (the seed corpus also
 # runs as part of plain `go test`).
 fuzz:
 	$(GO) test ./internal/sim/ -run FuzzFaultDeterminism -fuzz FuzzFaultDeterminism -fuzztime 20s
+
+# fuzz-smoke is the CI-sized variant: long enough to execute the engine on
+# generated inputs, short enough for every push.
+fuzz-smoke:
+	$(GO) test ./internal/sim/ -run FuzzFaultDeterminism -fuzz FuzzFaultDeterminism -fuzztime $(FUZZTIME)
+
+# bench-json regenerates the committed benchmark golden. Run it (and commit
+# the result) whenever an intentional change moves any cell metric. The
+# golden is generated with -parallel 1; bench-check verifies at the default
+# worker count, so the diff doubles as a full-grid serial-vs-parallel
+# equivalence check.
+bench-json: build
+	$(GO) run ./cmd/riommu-bench -quality quick -parallel 1 -json $(BENCH_GOLDEN) > /dev/null
+
+# bench-check is the CI benchmark-regression gate: rerun the quick grid and
+# fail on any byte of drift from the committed golden.
+bench-check: build
+	@tmp="$$(mktemp)"; trap 'rm -f "$$tmp"' EXIT; \
+	$(GO) run ./cmd/riommu-bench -quality quick -json "$$tmp" > /dev/null || exit 1; \
+	if ! diff -u $(BENCH_GOLDEN) "$$tmp"; then \
+		echo ""; \
+		echo "benchmark drift vs $(BENCH_GOLDEN)."; \
+		echo "If intentional, refresh with: make bench-json && git add $(BENCH_GOLDEN)"; \
+		exit 1; \
+	fi; \
+	echo "bench-check: no drift vs $(BENCH_GOLDEN)"
 
 clean:
 	$(GO) clean ./...

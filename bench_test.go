@@ -30,7 +30,7 @@ import (
 // strict-mode IOVA-allocation cost (the paper's surprise finding).
 func BenchmarkTable1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunTable1(experiments.Quick)
+		r, err := experiments.RunTable1(experiments.Serial(experiments.Quick))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -43,7 +43,7 @@ func BenchmarkTable1(b *testing.B) {
 // C_strict/C_none (the paper's ~9.4x).
 func BenchmarkFigure7(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunFigure7(experiments.Quick)
+		r, err := experiments.RunFigure7(experiments.Serial(experiments.Quick))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -56,7 +56,7 @@ func BenchmarkFigure7(b *testing.B) {
 // worst model error across all points.
 func BenchmarkFigure8(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunFigure8(experiments.Quick)
+		r, err := experiments.RunFigure8(experiments.Serial(experiments.Quick))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -167,7 +167,7 @@ func BenchmarkFigure12RR(b *testing.B) {
 // BenchmarkTable2 regenerates the full normalized matrix (expensive).
 func BenchmarkTable2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunTable2(experiments.Quick)
+		r, err := experiments.RunTable2(experiments.Serial(experiments.Quick))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -180,7 +180,7 @@ func BenchmarkTable2(b *testing.B) {
 // BenchmarkTable3 regenerates the RR round-trip table.
 func BenchmarkTable3(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunTable3(experiments.Quick)
+		r, err := experiments.RunTable3(experiments.Serial(experiments.Quick))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -192,7 +192,7 @@ func BenchmarkTable3(b *testing.B) {
 // BenchmarkMissPenalty regenerates the §5.3 microbenchmark.
 func BenchmarkMissPenalty(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunMissPenalty(experiments.Quick)
+		r, err := experiments.RunMissPenalty(experiments.Serial(experiments.Quick))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -203,7 +203,7 @@ func BenchmarkMissPenalty(b *testing.B) {
 // BenchmarkPrefetchers regenerates the §5.4 comparison.
 func BenchmarkPrefetchers(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunPrefetchers(experiments.Quick)
+		r, err := experiments.RunPrefetchers(experiments.Serial(experiments.Quick))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -216,7 +216,7 @@ func BenchmarkPrefetchers(b *testing.B) {
 // BenchmarkBonnie regenerates the §4 SATA applicability check.
 func BenchmarkBonnie(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunBonnie(experiments.Quick)
+		r, err := experiments.RunBonnie(experiments.Serial(experiments.Quick))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -229,7 +229,7 @@ func BenchmarkBonnie(b *testing.B) {
 // BenchmarkRIOMMUMapUnmap measures one rIOMMU map+unmap pair: wall time is
 // simulator speed; the metric is the virtual cycles the pair costs the core.
 func BenchmarkRIOMMUMapUnmap(b *testing.B) {
-	mm := mustMem(b, 1024 * mem.PageSize)
+	mm := mustMem(b, 1024*mem.PageSize)
 	clk := &cycles.Clock{}
 	model := cycles.DefaultModel()
 	hw := core.New(clk, &model, mm)
@@ -254,7 +254,7 @@ func BenchmarkRIOMMUMapUnmap(b *testing.B) {
 
 // BenchmarkBaselineMapUnmap measures the strict-mode pair for contrast.
 func BenchmarkBaselineMapUnmap(b *testing.B) {
-	mm := mustMem(b, 4096 * mem.PageSize)
+	mm := mustMem(b, 4096*mem.PageSize)
 	clk := &cycles.Clock{}
 	model := cycles.DefaultModel()
 	hier, err := pagetable.NewHierarchy(mm)
@@ -284,7 +284,7 @@ func BenchmarkBaselineMapUnmap(b *testing.B) {
 // BenchmarkRtranslate measures the rIOMMU hardware fast path (sequential
 // translations served by the prefetched next rPTE).
 func BenchmarkRtranslate(b *testing.B) {
-	mm := mustMem(b, 1024 * mem.PageSize)
+	mm := mustMem(b, 1024*mem.PageSize)
 	clk := &cycles.Clock{}
 	model := cycles.DefaultModel()
 	hw := core.New(clk, &model, mm)
@@ -313,7 +313,7 @@ func BenchmarkRtranslate(b *testing.B) {
 // BenchmarkPathology regenerates the §3.2 allocator-pathology sweep.
 func BenchmarkPathology(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunPathology(experiments.Quick)
+		r, err := experiments.RunPathology(experiments.Serial(experiments.Quick))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -326,7 +326,7 @@ func BenchmarkPathology(b *testing.B) {
 // BenchmarkAblations regenerates the design-choice sweeps.
 func BenchmarkAblations(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunAblations(experiments.Quick)
+		r, err := experiments.RunAblations(experiments.Serial(experiments.Quick))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -338,7 +338,7 @@ func BenchmarkAblations(b *testing.B) {
 // BenchmarkNVMe regenerates the NVMe extension experiment.
 func BenchmarkNVMe(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunNVMe(experiments.Quick)
+		r, err := experiments.RunNVMe(experiments.Serial(experiments.Quick))
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -3,59 +3,78 @@
 //
 // Usage:
 //
-//	riommu-bench [-quality quick|full] [-list] [-exp id[,id...]]
+//	riommu-bench [-quality quick|full] [-parallel N] [-json FILE] [-list] [-exp id[,id...]]
 //
 // With no -exp, every registered experiment runs in order. Output is the
 // paper-style rendering of each table/figure, with the paper's own numbers
 // alongside where the experiment embeds them.
+//
+// -parallel N fans each experiment's cell grid across N workers (default:
+// GOMAXPROCS; -parallel 1 forces the legacy serial path). Results are merged
+// in grid order, so stdout and -json output are byte-identical for any
+// worker count. Per-experiment wall-clock timing goes to stderr only, to
+// keep stdout deterministic.
+//
+// -json FILE additionally writes the machine-readable per-cell report (the
+// format the CI benchmark-regression gate diffs against BENCH_golden.json).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
-	"sync"
 	"time"
 
 	"riommu/internal/experiments"
+	"riommu/internal/parallel"
 )
 
 func main() {
-	var (
-		quality  = flag.String("quality", "quick", "run length: quick or full")
-		list     = flag.Bool("list", false, "list experiments and exit")
-		exp      = flag.String("exp", "", "comma-separated experiment ids (default: all)")
-		parallel = flag.Bool("parallel", false, "run experiments concurrently (each owns its simulator)")
-		csvDir   = flag.String("csv", "", "also export Figure 7/8/12 data series as CSV into this directory")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	q := experiments.Quick
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("riommu-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		quality = fs.String("quality", "quick", "run length: quick or full")
+		list    = fs.Bool("list", false, "list experiments and exit")
+		exp     = fs.String("exp", "", "comma-separated experiment ids (default: all)")
+		workers = fs.Int("parallel", 0, "cell-level worker count (0 = GOMAXPROCS, 1 = serial)")
+		jsonOut = fs.String("json", "", "write the machine-readable per-cell report to this file")
+		csvDir  = fs.String("csv", "", "also export Figure 7/8/12 data series as CSV into this directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	cfg := experiments.Config{Quality: experiments.Quick, Workers: parallel.Workers(*workers)}
 	switch *quality {
 	case "quick":
 	case "full":
-		q = experiments.Full
+		cfg.Quality = experiments.Full
 	default:
-		fmt.Fprintf(os.Stderr, "riommu-bench: unknown quality %q (want quick or full)\n", *quality)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "riommu-bench: unknown quality %q (want quick or full)\n", *quality)
+		return 2
 	}
 
 	if *list {
 		for _, e := range experiments.All() {
-			fmt.Printf("%-12s %s\n%-12s paper: %s\n", e.ID, e.Title, "", e.Paper)
+			fmt.Fprintf(stdout, "%-12s %s\n%-12s paper: %s\n", e.ID, e.Title, "", e.Paper)
 		}
-		return
+		return 0
 	}
 
 	if *csvDir != "" {
-		if err := experiments.ExportCSV(*csvDir, q); err != nil {
-			fmt.Fprintln(os.Stderr, "riommu-bench:", err)
-			os.Exit(1)
+		if err := experiments.ExportCSV(*csvDir, cfg); err != nil {
+			fmt.Fprintln(stderr, "riommu-bench:", err)
+			return 1
 		}
-		fmt.Printf("wrote figure7.csv, figure8.csv, figure12_{mlx,brcm}.csv to %s\n", *csvDir)
-		if *exp == "" {
-			return
+		fmt.Fprintf(stdout, "wrote figure7.csv, figure8.csv, figure12_{mlx,brcm}.csv to %s\n", *csvDir)
+		if *exp == "" && *jsonOut == "" {
+			return 0
 		}
 	}
 
@@ -66,49 +85,49 @@ func main() {
 		for _, id := range strings.Split(*exp, ",") {
 			e, err := experiments.Lookup(strings.TrimSpace(id))
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "riommu-bench:", err)
-				os.Exit(2)
+				fmt.Fprintln(stderr, "riommu-bench:", err)
+				return 2
 			}
 			selected = append(selected, e)
 		}
 	}
 
-	type result struct {
-		out     string
-		err     error
-		elapsed time.Duration
+	start := time.Now()
+	results := experiments.RunAll(cfg, selected)
+	fmt.Fprintf(stderr, "riommu-bench: %d experiment(s), %d worker(s), %.1fs\n",
+		len(selected), cfg.Workers, time.Since(start).Seconds())
+
+	// Report every failing experiment, not just the first: a grid error in
+	// cell k must not hide an unrelated error in cell k+1's experiment.
+	failed := 0
+	for _, r := range results {
+		if r.Err != nil {
+			failed++
+			fmt.Fprintf(stderr, "riommu-bench: %s: %v\n", r.Experiment.ID, r.Err)
+		}
 	}
-	results := make([]result, len(selected))
-	if *parallel {
-		// Each experiment builds its own simulated systems, so they are
-		// fully independent and safe to run concurrently.
-		var wg sync.WaitGroup
-		for i, e := range selected {
-			wg.Add(1)
-			go func(i int, e experiments.Experiment) {
-				defer wg.Done()
-				start := time.Now()
-				out, err := e.Run(q)
-				results[i] = result{out: out, err: err, elapsed: time.Since(start)}
-			}(i, e)
-		}
-		wg.Wait()
-	} else {
-		for i, e := range selected {
-			start := time.Now()
-			out, err := e.Run(q)
-			results[i] = result{out: out, err: err, elapsed: time.Since(start)}
-		}
+	if failed > 0 {
+		fmt.Fprintf(stderr, "riommu-bench: %d of %d experiments failed\n", failed, len(results))
+		return 1
 	}
 
-	for i, e := range selected {
-		r := results[i]
-		if r.err != nil {
-			fmt.Fprintf(os.Stderr, "riommu-bench: %s: %v\n", e.ID, r.err)
-			os.Exit(1)
-		}
-		fmt.Printf("=== %s — %s (%.1fs)\n", e.ID, e.Title, r.elapsed.Seconds())
-		fmt.Printf("    paper: %s\n\n", e.Paper)
-		fmt.Println(r.out)
+	for _, r := range results {
+		fmt.Fprintf(stdout, "=== %s — %s\n", r.Experiment.ID, r.Experiment.Title)
+		fmt.Fprintf(stdout, "    paper: %s\n\n", r.Experiment.Paper)
+		fmt.Fprintln(stdout, r.Output.Text)
 	}
+
+	if *jsonOut != "" {
+		rep, err := experiments.BuildReport(cfg, results)
+		if err != nil {
+			fmt.Fprintln(stderr, "riommu-bench:", err)
+			return 1
+		}
+		if err := experiments.WriteJSON(*jsonOut, rep); err != nil {
+			fmt.Fprintln(stderr, "riommu-bench:", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "riommu-bench: wrote %s\n", *jsonOut)
+	}
+	return 0
 }

@@ -8,292 +8,79 @@
 // Usage:
 //
 //	riommu-faults [-seed N] [-rates r1,r2,...] [-modes m1,m2,...] [-rounds N]
+//	              [-parallel N] [-json FILE]
 //
-// Every number in the output is a pure function of the flags: the engine is
-// seeded, all backoff/watchdog time is virtual, and no wall clock or global
-// randomness is consulted. Two runs with the same flags produce identical
-// bytes, which makes the campaign diffable across code changes.
+// Every number in the output is a pure function of the flags: each cell's
+// fault engine is seeded from the base seed and the cell's identity, all
+// backoff/watchdog time is virtual, and no wall clock or global randomness
+// is consulted. Two runs with the same flags produce identical bytes for
+// any -parallel value, which makes the campaign diffable across code
+// changes.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"math/rand"
+	"io"
 	"os"
-	"strconv"
-	"strings"
 
-	"riommu/internal/cycles"
-	"riommu/internal/device"
-	"riommu/internal/driver"
-	"riommu/internal/faults"
-	"riommu/internal/pci"
-	"riommu/internal/perfmodel"
-	"riommu/internal/sim"
-	"riommu/internal/stats"
+	"riommu/internal/campaign"
+	"riommu/internal/parallel"
 )
-
-var (
-	nicBDF  = pci.NewBDF(0, 3, 0)
-	nvmeBDF = pci.NewBDF(0, 4, 0)
-	sataBDF = pci.NewBDF(0, 5, 0)
-)
-
-// safeModes are the modes the recovery story covers: the deferred modes
-// trade protection for speed and the pass-through modes have nothing to
-// degrade to, so the campaign sticks to gap-free protection (§5.1).
-var safeModes = []sim.Mode{sim.Strict, sim.StrictPlus, sim.RIOMMUMinus, sim.RIOMMU}
-
-func parseModes(s string) ([]sim.Mode, error) {
-	var out []sim.Mode
-	for _, name := range strings.Split(s, ",") {
-		name = strings.TrimSpace(name)
-		found := false
-		for _, m := range safeModes {
-			if m.String() == name {
-				out = append(out, m)
-				found = true
-				break
-			}
-		}
-		if !found {
-			return nil, fmt.Errorf("unknown or unsafe mode %q (want one of strict, strict+, riommu-, riommu)", name)
-		}
-	}
-	return out, nil
-}
-
-func parseRates(s string) ([]float64, error) {
-	var out []float64
-	for _, f := range strings.Split(s, ",") {
-		r, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
-		if err != nil {
-			return nil, err
-		}
-		if r < 0 || r > 1 {
-			return nil, fmt.Errorf("rate %v out of [0,1]", r)
-		}
-		out = append(out, r)
-	}
-	return out, nil
-}
-
-// cell is one (mode, rate) campaign result.
-type cell struct {
-	injected    uint64
-	sup         driver.RecoveryStats
-	recCycles   uint64 // CPU cycles charged to recovery work
-	cyclesPerTx float64
-	gbps        float64
-}
-
-// nicCampaign soaks a supervised NIC under uniform injection at the given
-// rate and returns the cell metrics.
-func nicCampaign(mode sim.Mode, seed uint64, rate float64, rounds int, byClass *stats.Counters) (cell, error) {
-	sys, err := sim.NewSystem(mode, 1<<15)
-	if err != nil {
-		return cell{}, err
-	}
-	f := sys.EnableFaults(faults.UniformConfig(seed, rate))
-	drv, nic, err := sys.AttachNIC(device.ProfileBRCM, nicBDF)
-	if err != nil {
-		return cell{}, err
-	}
-	sup := sys.Supervise(nicBDF, drv)
-	payload := make([]byte, 1024)
-	for i := range payload {
-		payload[i] = byte(i)
-	}
-	for round := 0; round < rounds; round++ {
-		// Failed rounds are the campaign's subject, not an error: the
-		// supervisor counts them and the watchdog clears any wedge.
-		_ = sup.Do(func() error {
-			if err := drv.Send(payload); err != nil {
-				return err
-			}
-			if _, err := drv.PumpTx(2); err != nil {
-				return err
-			}
-			if _, err := drv.ReapTx(); err != nil {
-				return err
-			}
-			if err := drv.Deliver(payload); err != nil {
-				return err
-			}
-			_, err := drv.ReapRx()
-			return err
-		})
-		if _, err := sup.Watch(); err != nil {
-			return cell{}, fmt.Errorf("watchdog recovery failed: %w", err)
-		}
-	}
-	for _, c := range faults.Classes() {
-		byClass.Add(c.String(), f.Count(c))
-	}
-	c := cell{
-		injected:  f.TotalInjected(),
-		sup:       sup.Stats,
-		recCycles: sys.CPU.Total(cycles.Recovery),
-	}
-	if pkts := nic.TxPackets + nic.RxPackets; pkts > 0 {
-		c.cyclesPerTx = float64(sys.CPU.Now()) / float64(pkts)
-		c.gbps = perfmodel.Gbps(sys.Model, c.cyclesPerTx, device.ProfileBRCM.LineRateGbps)
-	}
-	return c, nil
-}
-
-// blockCampaign runs the same sweep against a block-device driver (NVMe or
-// AHCI/SATA): a supervised write/complete loop under injection.
-func blockCampaign(dev string, mode sim.Mode, seed uint64, rate float64, rounds int) (cell, error) {
-	sys, err := sim.NewSystem(mode, 1<<14)
-	if err != nil {
-		return cell{}, err
-	}
-	f := sys.EnableFaults(faults.UniformConfig(seed, rate))
-	payload := make([]byte, 512)
-	for i := range payload {
-		payload[i] = byte(i * 3)
-	}
-
-	var (
-		target driver.Recoverable
-		op     func() error
-		bdf    pci.BDF
-	)
-	switch dev {
-	case "nvme":
-		bdf = nvmeBDF
-		prot, err := sys.ProtectionFor(bdf, []uint32{4, 64, 64})
-		if err != nil {
-			return cell{}, err
-		}
-		d, err := driver.NewNVMeDriver(sys.Mem, prot, sys.Eng, bdf, 4096, 128, 8)
-		if err != nil {
-			return cell{}, err
-		}
-		lba := uint64(0)
-		target = d
-		op = func() error {
-			if _, err := d.Write(lba%64, payload); err != nil {
-				return err
-			}
-			lba++
-			_, err := d.Poll(8)
-			return err
-		}
-	case "sata":
-		bdf = sataBDF
-		prot, err := sys.ProtectionFor(bdf, []uint32{4, 64, 64})
-		if err != nil {
-			return cell{}, err
-		}
-		d := driver.NewSATADriver(sys.Mem, prot, sys.Eng, bdf, 4096, 256)
-		// Same-binary deterministic: a fixed-seed source, never the
-		// global math/rand state.
-		rng := rand.New(rand.NewSource(int64(seed)))
-		lba := uint64(0)
-		target = d
-		op = func() error {
-			if _, err := d.SubmitWrite(lba%64, payload); err != nil {
-				return err
-			}
-			lba++
-			_, err := d.CompleteAll(rng)
-			return err
-		}
-	default:
-		return cell{}, fmt.Errorf("unknown block device %q", dev)
-	}
-
-	sup := sys.Supervise(bdf, target)
-	for round := 0; round < rounds; round++ {
-		_ = sup.Do(op)
-		if _, err := sup.Watch(); err != nil {
-			return cell{}, fmt.Errorf("watchdog recovery failed: %w", err)
-		}
-	}
-	c := cell{
-		injected:  f.TotalInjected(),
-		sup:       sup.Stats,
-		recCycles: sys.CPU.Total(cycles.Recovery),
-	}
-	if cmds := target.Progress(); cmds > 0 {
-		c.cyclesPerTx = float64(sys.CPU.Now()) / float64(cmds)
-	}
-	return c, nil
-}
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("riommu-faults", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		seed   = flag.Uint64("seed", 42, "fault-engine seed (same seed => identical output)")
-		rates  = flag.String("rates", "0,0.002,0.01,0.05", "comma-separated per-opportunity fault rates")
-		modes  = flag.String("modes", "strict,strict+,riommu-,riommu", "comma-separated safe modes to sweep")
-		rounds = flag.Int("rounds", 150, "workload rounds per campaign cell")
+		seed    = fs.Uint64("seed", 42, "base campaign seed (same seed => identical output)")
+		rates   = fs.String("rates", "0,0.002,0.01,0.05", "comma-separated per-opportunity fault rates")
+		modes   = fs.String("modes", "strict,strict+,riommu-,riommu", "comma-separated safe modes to sweep")
+		rounds  = fs.Int("rounds", 150, "workload rounds per campaign cell")
+		workers = fs.Int("parallel", 0, "cell-level worker count (0 = GOMAXPROCS, 1 = serial)")
+		jsonOut = fs.String("json", "", "write the machine-readable per-cell report to this file")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
-	ms, err := parseModes(*modes)
+	ms, err := campaign.ParseModes(*modes)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "riommu-faults:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "riommu-faults:", err)
+		return 2
 	}
-	rs, err := parseRates(*rates)
+	rs, err := campaign.ParseRates(*rates)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "riommu-faults:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "riommu-faults:", err)
+		return 2
 	}
 
-	fmt.Printf("riommu-faults: seed=%d rounds=%d (all clocks virtual; output is seed-deterministic)\n\n", *seed, *rounds)
-
-	// NIC sweep. The fault-free (rate 0) run of each mode anchors the
-	// throughput-degradation column.
-	var byClass stats.Counters
-	nicTab := stats.NewTable(
-		fmt.Sprintf("NIC campaign — %s, %d rounds/cell", device.ProfileBRCM.Name, *rounds),
-		"mode", "rate", "injected", "recov", "retries", "wdog", "degrade", "unrec", "cyc/pkt", "Gbps", "vs clean")
-	nicTab.AlignLeft(0)
-	for _, m := range ms {
-		clean, err := nicCampaign(m, *seed, 0, *rounds, &stats.Counters{})
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "riommu-faults: %s clean run: %v\n", m, err)
-			os.Exit(1)
-		}
-		for _, r := range rs {
-			c, err := nicCampaign(m, *seed, r, *rounds, &byClass)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "riommu-faults: %s rate %v: %v\n", m, r, err)
-				os.Exit(1)
-			}
-			vs := "n/a"
-			if clean.gbps > 0 {
-				vs = fmt.Sprintf("%.1f%%", 100*c.gbps/clean.gbps)
-			}
-			nicTab.Row(m.String(), fmt.Sprintf("%g", r), c.injected, c.sup.Recoveries, c.sup.Retries,
-				c.sup.WatchdogFires, c.sup.Degradations, c.sup.Unrecovered,
-				c.cyclesPerTx, c.gbps, vs)
-		}
+	opts := campaign.Options{
+		Seed:    *seed,
+		Rates:   rs,
+		Modes:   ms,
+		Rounds:  *rounds,
+		Workers: parallel.Workers(*workers),
 	}
-	fmt.Println(nicTab)
-
-	fmt.Println(byClass.Table("Injected faults by class (NIC sweep total)"))
-
-	// Block-device sweep: NVMe and AHCI drivers under the same engine.
-	blkTab := stats.NewTable(
-		fmt.Sprintf("Block-device campaign — %d rounds/cell", *rounds),
-		"device", "mode", "rate", "injected", "recov", "retries", "wdog", "unrec", "recovery cyc", "cyc/cmd")
-	blkTab.AlignLeft(0).AlignLeft(1)
-	for _, dev := range []string{"nvme", "sata"} {
-		for _, m := range ms {
-			for _, r := range rs {
-				c, err := blockCampaign(dev, m, *seed, r, *rounds)
-				if err != nil {
-					fmt.Fprintf(os.Stderr, "riommu-faults: %s %s rate %v: %v\n", dev, m, r, err)
-					os.Exit(1)
-				}
-				blkTab.Row(dev, m.String(), fmt.Sprintf("%g", r), c.injected, c.sup.Recoveries, c.sup.Retries,
-					c.sup.WatchdogFires, c.sup.Unrecovered, c.recCycles, c.cyclesPerTx)
-			}
-		}
+	res, err := campaign.Run(opts)
+	if err != nil {
+		fmt.Fprintln(stderr, "riommu-faults:", err)
+		return 1
 	}
-	fmt.Println(blkTab)
+
+	fmt.Fprintf(stdout, "riommu-faults: seed=%d rounds=%d (all clocks virtual; output is seed-deterministic)\n\n",
+		*seed, *rounds)
+	fmt.Fprintln(stdout, res.Render())
+
+	if *jsonOut != "" {
+		if err := campaign.WriteJSON(*jsonOut, campaign.BuildReport(res)); err != nil {
+			fmt.Fprintln(stderr, "riommu-faults:", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "riommu-faults: wrote %s\n", *jsonOut)
+	}
+	return 0
 }

@@ -14,7 +14,7 @@ var dev = pci.NewBDF(0, 3, 0)
 
 func setup(t *testing.T, mode Mode) (*Driver, *iommu.IOMMU, *mem.PhysMem, *cycles.Clock) {
 	t.Helper()
-	mm := mustMem(t, 4096 * mem.PageSize)
+	mm := mustMem(t, 4096*mem.PageSize)
 	clk := &cycles.Clock{}
 	model := cycles.DefaultModel()
 	hier, err := pagetable.NewHierarchy(mm)

@@ -1,0 +1,363 @@
+// Package campaign runs deterministic fault-injection campaigns against the
+// simulated systems: it sweeps fault rates across the safe protection modes,
+// drives supervised NIC / NVMe / SATA workloads through the injection
+// window, and reports how the recovery layer held up.
+//
+// The campaign is a flat cell grid (device x mode x rate, plus a fault-free
+// anchor cell per NIC mode). Every cell builds its own simulation world and
+// derives its fault-engine seed from the base seed and the cell's identity
+// alone (parallel.CellSeed), never from which worker ran it — so the merged
+// result is byte-identical for any worker count, and CI can diff rendered
+// output across code changes.
+package campaign
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"riommu/internal/cycles"
+	"riommu/internal/device"
+	"riommu/internal/driver"
+	"riommu/internal/faults"
+	"riommu/internal/parallel"
+	"riommu/internal/pci"
+	"riommu/internal/perfmodel"
+	"riommu/internal/sim"
+	"riommu/internal/stats"
+)
+
+var (
+	nicBDF  = pci.NewBDF(0, 3, 0)
+	nvmeBDF = pci.NewBDF(0, 4, 0)
+	sataBDF = pci.NewBDF(0, 5, 0)
+)
+
+// SafeModes are the modes the recovery story covers: the deferred modes
+// trade protection for speed and the pass-through modes have nothing to
+// degrade to, so campaigns stick to gap-free protection (§5.1).
+var SafeModes = []sim.Mode{sim.Strict, sim.StrictPlus, sim.RIOMMUMinus, sim.RIOMMU}
+
+// ParseModes resolves a comma-separated mode list against SafeModes.
+func ParseModes(s string) ([]sim.Mode, error) {
+	var out []sim.Mode
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		found := false
+		for _, m := range SafeModes {
+			if m.String() == name {
+				out = append(out, m)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown or unsafe mode %q (want one of strict, strict+, riommu-, riommu)", name)
+		}
+	}
+	return out, nil
+}
+
+// ParseRates parses a comma-separated list of per-opportunity fault rates.
+func ParseRates(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		r, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, err
+		}
+		if r < 0 || r > 1 {
+			return nil, fmt.Errorf("rate %v out of [0,1]", r)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Options selects the campaign grid.
+type Options struct {
+	Seed   uint64
+	Rates  []float64
+	Modes  []sim.Mode
+	Rounds int
+	// Workers is the cell-level fan-out (see parallel.Workers); 1 runs the
+	// legacy serial path.
+	Workers int
+}
+
+// Key identifies one campaign cell.
+type Key struct {
+	Device string // "nic", "nvme" or "sata"
+	Mode   sim.Mode
+	Rate   float64
+	// Clean marks the fault-free NIC anchor cell that the throughput
+	// degradation column is measured against.
+	Clean bool
+}
+
+// String is the cell's stable identity; per-cell seeds derive from it.
+func (k Key) String() string {
+	if k.Clean {
+		return k.Device + "/" + k.Mode.String() + "/clean"
+	}
+	return fmt.Sprintf("%s/%s/r=%g", k.Device, k.Mode, k.Rate)
+}
+
+// CellMetrics is what one campaign cell measured.
+type CellMetrics struct {
+	Injected       uint64
+	Recovery       driver.RecoveryStats
+	RecoveryCycles uint64 // CPU cycles charged to recovery work
+	CyclesPerOp    float64
+	Gbps           float64 // NIC cells only
+	// ByClass counts injected faults per fault class (NIC cells only).
+	ByClass map[string]uint64
+}
+
+// Result pairs the grid with its measurements, cell i of Keys in Cells[i].
+type Result struct {
+	Opts  Options
+	Keys  []Key
+	Cells []CellMetrics
+}
+
+// Grid enumerates the campaign cells in canonical order: per NIC mode a
+// clean anchor then the rate sweep, then the block devices' mode x rate
+// sweeps. Output order is always this order, independent of scheduling.
+func (o Options) Grid() []Key {
+	var keys []Key
+	for _, m := range o.Modes {
+		keys = append(keys, Key{Device: "nic", Mode: m, Clean: true})
+		for _, r := range o.Rates {
+			keys = append(keys, Key{Device: "nic", Mode: m, Rate: r})
+		}
+	}
+	for _, dev := range []string{"nvme", "sata"} {
+		for _, m := range o.Modes {
+			for _, r := range o.Rates {
+				keys = append(keys, Key{Device: dev, Mode: m, Rate: r})
+			}
+		}
+	}
+	return keys
+}
+
+// Run executes the whole grid, fanning cells across opts.Workers workers.
+func Run(opts Options) (Result, error) {
+	keys := opts.Grid()
+	cells, err := parallel.Map(opts.Workers, keys, func(_ int, k Key) (CellMetrics, error) {
+		seed := parallel.CellSeed(opts.Seed, k.String())
+		rate := k.Rate
+		if k.Clean {
+			rate = 0
+		}
+		var (
+			c   CellMetrics
+			err error
+		)
+		if k.Device == "nic" {
+			c, err = nicCell(k.Mode, seed, rate, opts.Rounds)
+		} else {
+			c, err = blockCell(k.Device, k.Mode, seed, rate, opts.Rounds)
+		}
+		if err != nil {
+			return c, fmt.Errorf("%s: %w", k, err)
+		}
+		return c, nil
+	})
+	return Result{Opts: opts, Keys: keys, Cells: cells}, err
+}
+
+// nicCell soaks a supervised NIC under uniform injection at the given rate.
+func nicCell(mode sim.Mode, seed uint64, rate float64, rounds int) (CellMetrics, error) {
+	sys, err := sim.NewSystem(mode, 1<<15)
+	if err != nil {
+		return CellMetrics{}, err
+	}
+	f := sys.EnableFaults(faults.UniformConfig(seed, rate))
+	drv, nic, err := sys.AttachNIC(device.ProfileBRCM, nicBDF)
+	if err != nil {
+		return CellMetrics{}, err
+	}
+	sup := sys.Supervise(nicBDF, drv)
+	payload := make([]byte, 1024)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	for round := 0; round < rounds; round++ {
+		// Failed rounds are the campaign's subject, not an error: the
+		// supervisor counts them and the watchdog clears any wedge.
+		_ = sup.Do(func() error {
+			if err := drv.Send(payload); err != nil {
+				return err
+			}
+			if _, err := drv.PumpTx(2); err != nil {
+				return err
+			}
+			if _, err := drv.ReapTx(); err != nil {
+				return err
+			}
+			if err := drv.Deliver(payload); err != nil {
+				return err
+			}
+			_, err := drv.ReapRx()
+			return err
+		})
+		if _, err := sup.Watch(); err != nil {
+			return CellMetrics{}, fmt.Errorf("watchdog recovery failed: %w", err)
+		}
+	}
+	c := CellMetrics{
+		Injected:       f.TotalInjected(),
+		Recovery:       sup.Stats,
+		RecoveryCycles: sys.CPU.Total(cycles.Recovery),
+		ByClass:        map[string]uint64{},
+	}
+	for _, cl := range faults.Classes() {
+		c.ByClass[cl.String()] = f.Count(cl)
+	}
+	if pkts := nic.TxPackets + nic.RxPackets; pkts > 0 {
+		c.CyclesPerOp = float64(sys.CPU.Now()) / float64(pkts)
+		c.Gbps = perfmodel.Gbps(sys.Model, c.CyclesPerOp, device.ProfileBRCM.LineRateGbps)
+	}
+	return c, nil
+}
+
+// blockCell runs the same sweep against a block-device driver (NVMe or
+// AHCI/SATA): a supervised write/complete loop under injection.
+func blockCell(dev string, mode sim.Mode, seed uint64, rate float64, rounds int) (CellMetrics, error) {
+	sys, err := sim.NewSystem(mode, 1<<14)
+	if err != nil {
+		return CellMetrics{}, err
+	}
+	f := sys.EnableFaults(faults.UniformConfig(seed, rate))
+	payload := make([]byte, 512)
+	for i := range payload {
+		payload[i] = byte(i * 3)
+	}
+
+	var (
+		target driver.Recoverable
+		op     func() error
+		bdf    pci.BDF
+	)
+	switch dev {
+	case "nvme":
+		bdf = nvmeBDF
+		prot, err := sys.ProtectionFor(bdf, []uint32{4, 64, 64})
+		if err != nil {
+			return CellMetrics{}, err
+		}
+		d, err := driver.NewNVMeDriver(sys.Mem, prot, sys.Eng, bdf, 4096, 128, 8)
+		if err != nil {
+			return CellMetrics{}, err
+		}
+		lba := uint64(0)
+		target = d
+		op = func() error {
+			if _, err := d.Write(lba%64, payload); err != nil {
+				return err
+			}
+			lba++
+			_, err := d.Poll(8)
+			return err
+		}
+	case "sata":
+		bdf = sataBDF
+		prot, err := sys.ProtectionFor(bdf, []uint32{4, 64, 64})
+		if err != nil {
+			return CellMetrics{}, err
+		}
+		d := driver.NewSATADriver(sys.Mem, prot, sys.Eng, bdf, 4096, 256)
+		// Cell-local deterministic source, never the global math/rand
+		// state: the stream depends only on the cell's seed.
+		rng := rand.New(rand.NewSource(int64(seed)))
+		lba := uint64(0)
+		target = d
+		op = func() error {
+			if _, err := d.SubmitWrite(lba%64, payload); err != nil {
+				return err
+			}
+			lba++
+			_, err := d.CompleteAll(rng)
+			return err
+		}
+	default:
+		return CellMetrics{}, fmt.Errorf("unknown block device %q", dev)
+	}
+
+	sup := sys.Supervise(bdf, target)
+	for round := 0; round < rounds; round++ {
+		_ = sup.Do(op)
+		if _, err := sup.Watch(); err != nil {
+			return CellMetrics{}, fmt.Errorf("watchdog recovery failed: %w", err)
+		}
+	}
+	c := CellMetrics{
+		Injected:       f.TotalInjected(),
+		Recovery:       sup.Stats,
+		RecoveryCycles: sys.CPU.Total(cycles.Recovery),
+	}
+	if cmds := target.Progress(); cmds > 0 {
+		c.CyclesPerOp = float64(sys.CPU.Now()) / float64(cmds)
+	}
+	return c, nil
+}
+
+// Render produces the human-readable campaign tables from a merged result.
+// It walks Keys in grid order only, so its output is worker-count
+// independent.
+func (r Result) Render() string {
+	var b strings.Builder
+
+	// Clean NIC anchors per mode for the degradation column.
+	clean := map[sim.Mode]CellMetrics{}
+	for i, k := range r.Keys {
+		if k.Device == "nic" && k.Clean {
+			clean[k.Mode] = r.Cells[i]
+		}
+	}
+
+	nicTab := stats.NewTable(
+		fmt.Sprintf("NIC campaign — %s, %d rounds/cell", device.ProfileBRCM.Name, r.Opts.Rounds),
+		"mode", "rate", "injected", "recov", "retries", "wdog", "degrade", "unrec", "cyc/pkt", "Gbps", "vs clean")
+	nicTab.AlignLeft(0)
+	var byClass stats.Counters
+	for i, k := range r.Keys {
+		if k.Device != "nic" || k.Clean {
+			continue
+		}
+		c := r.Cells[i]
+		for _, cl := range faults.Classes() {
+			byClass.Add(cl.String(), c.ByClass[cl.String()])
+		}
+		vs := "n/a"
+		if anchor := clean[k.Mode]; anchor.Gbps > 0 {
+			vs = fmt.Sprintf("%.1f%%", 100*c.Gbps/anchor.Gbps)
+		}
+		nicTab.Row(k.Mode.String(), fmt.Sprintf("%g", k.Rate), c.Injected, c.Recovery.Recoveries,
+			c.Recovery.Retries, c.Recovery.WatchdogFires, c.Recovery.Degradations,
+			c.Recovery.Unrecovered, c.CyclesPerOp, c.Gbps, vs)
+	}
+	b.WriteString(nicTab.String())
+	b.WriteByte('\n')
+	b.WriteString(byClass.Table("Injected faults by class (NIC sweep total)").String())
+	b.WriteByte('\n')
+
+	blkTab := stats.NewTable(
+		fmt.Sprintf("Block-device campaign — %d rounds/cell", r.Opts.Rounds),
+		"device", "mode", "rate", "injected", "recov", "retries", "wdog", "unrec", "recovery cyc", "cyc/cmd")
+	blkTab.AlignLeft(0).AlignLeft(1)
+	for i, k := range r.Keys {
+		if k.Device == "nic" {
+			continue
+		}
+		c := r.Cells[i]
+		blkTab.Row(k.Device, k.Mode.String(), fmt.Sprintf("%g", k.Rate), c.Injected,
+			c.Recovery.Recoveries, c.Recovery.Retries, c.Recovery.WatchdogFires,
+			c.Recovery.Unrecovered, c.RecoveryCycles, c.CyclesPerOp)
+	}
+	b.WriteString(blkTab.String())
+	return b.String()
+}

@@ -1,0 +1,144 @@
+package campaign
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"riommu/internal/sim"
+)
+
+func testOptions(workers int) Options {
+	return Options{
+		Seed:    42,
+		Rates:   []float64{0, 0.01},
+		Modes:   []sim.Mode{sim.Strict, sim.RIOMMU},
+		Rounds:  25,
+		Workers: workers,
+	}
+}
+
+// TestSerialParallelEquivalence: the campaign's rendered tables and JSON
+// report are byte-identical for any worker count, including the fault-path
+// cells where per-cell seeding is what keeps the injected streams stable.
+func TestSerialParallelEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-worker sweep is slow under -short")
+	}
+	run := func(workers int) (string, []byte) {
+		res, err := Run(testOptions(workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		j, err := MarshalReport(BuildReport(res))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res.Render(), j
+	}
+	wantText, wantJSON := run(1)
+	if !strings.Contains(wantText, "NIC campaign") || !strings.Contains(wantText, "Block-device campaign") {
+		t.Fatalf("rendered campaign missing expected tables:\n%s", wantText)
+	}
+	for _, workers := range []int{2, 8} {
+		gotText, gotJSON := run(workers)
+		if gotText != wantText {
+			t.Errorf("workers=%d: rendered text differs from serial", workers)
+		}
+		if !bytes.Equal(gotJSON, wantJSON) {
+			t.Errorf("workers=%d: JSON report differs from serial", workers)
+		}
+	}
+}
+
+// TestGridOrder: the grid is the canonical cell order — NIC anchors and
+// sweeps first, then the block devices — and cell identities are unique
+// (CellSeed derives per-cell fault streams from them).
+func TestGridOrder(t *testing.T) {
+	opts := testOptions(1)
+	keys := opts.Grid()
+	wantLen := len(opts.Modes)*(1+len(opts.Rates)) + 2*len(opts.Modes)*len(opts.Rates)
+	if len(keys) != wantLen {
+		t.Fatalf("grid has %d cells, want %d", len(keys), wantLen)
+	}
+	if !keys[0].Clean || keys[0].Device != "nic" || keys[0].Mode != sim.Strict {
+		t.Fatalf("grid must start with the strict NIC anchor, got %s", keys[0])
+	}
+	seen := map[string]bool{}
+	sawBlock := false
+	for _, k := range keys {
+		id := k.String()
+		if seen[id] {
+			t.Errorf("duplicate cell identity %q", id)
+		}
+		seen[id] = true
+		if k.Device != "nic" {
+			sawBlock = true
+		} else if sawBlock {
+			t.Errorf("NIC cell %s after block cells: grid order violated", id)
+		}
+	}
+}
+
+// TestFaultCellsInject: non-zero rates actually exercise the recovery layer,
+// so the equivalence test above covers fault-campaign output, not just clean
+// runs.
+func TestFaultCellsInject(t *testing.T) {
+	res, err := Run(testOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var injected, recovered uint64
+	for i, k := range res.Keys {
+		c := res.Cells[i]
+		if k.Clean || k.Rate == 0 {
+			if c.Injected != 0 {
+				t.Errorf("%s: clean cell injected %d faults", k, c.Injected)
+			}
+			continue
+		}
+		injected += c.Injected
+		recovered += c.Recovery.Recoveries
+		if c.Recovery.Unrecovered != 0 {
+			t.Errorf("%s: %d unrecovered faults", k, c.Recovery.Unrecovered)
+		}
+	}
+	if injected == 0 {
+		t.Error("fault cells injected nothing; campaign is not testing recovery")
+	}
+	if recovered == 0 {
+		t.Error("no recoveries recorded across fault cells")
+	}
+}
+
+func TestParseModes(t *testing.T) {
+	ms, err := ParseModes("strict, riommu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 || ms[0] != sim.Strict || ms[1] != sim.RIOMMU {
+		t.Fatalf("got %v", ms)
+	}
+	if _, err := ParseModes("defer"); err == nil {
+		t.Error("deferred modes are unsafe for the campaign; ParseModes must reject them")
+	}
+	if _, err := ParseModes("nosuch"); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+func TestParseRates(t *testing.T) {
+	rs, err := ParseRates("0, 0.01,0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 || rs[2] != 0.05 {
+		t.Fatalf("got %v", rs)
+	}
+	if _, err := ParseRates("1.5"); err == nil {
+		t.Error("rate > 1 accepted")
+	}
+	if _, err := ParseRates("x"); err == nil {
+		t.Error("non-numeric rate accepted")
+	}
+}

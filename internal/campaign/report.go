@@ -1,0 +1,67 @@
+package campaign
+
+import (
+	"encoding/json"
+	"os"
+
+	"riommu/internal/faults"
+)
+
+// ReportCell is one campaign cell in machine-readable form. Metrics marshal
+// deterministically: encoding/json sorts map keys, and Go formats a given
+// float64 bit pattern to a unique shortest representation.
+type ReportCell struct {
+	ID      string             `json:"cell"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the full machine-readable campaign: every cell in grid order.
+type Report struct {
+	Seed   uint64       `json:"seed"`
+	Rounds int          `json:"rounds"`
+	Cells  []ReportCell `json:"cells"`
+}
+
+// BuildReport flattens a merged Result into the canonical report.
+func BuildReport(r Result) Report {
+	rep := Report{Seed: r.Opts.Seed, Rounds: r.Opts.Rounds}
+	for i, k := range r.Keys {
+		c := r.Cells[i]
+		m := map[string]float64{
+			"injected":        float64(c.Injected),
+			"recoveries":      float64(c.Recovery.Recoveries),
+			"retries":         float64(c.Recovery.Retries),
+			"watchdog_fires":  float64(c.Recovery.WatchdogFires),
+			"degradations":    float64(c.Recovery.Degradations),
+			"unrecovered":     float64(c.Recovery.Unrecovered),
+			"recovery_cycles": float64(c.RecoveryCycles),
+			"cycles_per_op":   c.CyclesPerOp,
+		}
+		if k.Device == "nic" {
+			m["gbps"] = c.Gbps
+			for _, cl := range faults.Classes() {
+				m["faults_"+cl.String()] = float64(c.ByClass[cl.String()])
+			}
+		}
+		rep.Cells = append(rep.Cells, ReportCell{ID: k.String(), Metrics: m})
+	}
+	return rep
+}
+
+// MarshalReport renders a Report to the canonical byte form.
+func MarshalReport(rep Report) ([]byte, error) {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteJSON writes the canonical report bytes to path.
+func WriteJSON(path string, rep Report) error {
+	b, err := MarshalReport(rep)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}

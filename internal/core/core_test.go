@@ -17,7 +17,7 @@ func setup(t *testing.T, coherent bool, ringSizes ...uint32) (*Driver, *RIOMMU, 
 	if len(ringSizes) == 0 {
 		ringSizes = []uint32{256}
 	}
-	mm := mustMem(t, 2048 * mem.PageSize)
+	mm := mustMem(t, 2048*mem.PageSize)
 	clk := &cycles.Clock{}
 	model := cycles.DefaultModel()
 	hw := New(clk, &model, mm)
@@ -460,7 +460,7 @@ func TestPinningLifecycle(t *testing.T) {
 }
 
 func TestAttachValidation(t *testing.T) {
-	mm := mustMem(t, 256 * mem.PageSize)
+	mm := mustMem(t, 256*mem.PageSize)
 	clk := &cycles.Clock{}
 	model := cycles.DefaultModel()
 	hw := New(clk, &model, mm)
@@ -491,7 +491,7 @@ func TestAttachValidation(t *testing.T) {
 }
 
 func TestDetachFreesTableFrames(t *testing.T) {
-	mm := mustMem(t, 256 * mem.PageSize)
+	mm := mustMem(t, 256*mem.PageSize)
 	clk := &cycles.Clock{}
 	model := cycles.DefaultModel()
 	hw := New(clk, &model, mm)
@@ -512,7 +512,7 @@ func TestDetachFreesTableFrames(t *testing.T) {
 // rIOTLB at <= 1 entry per ring and translations exact per a shadow model.
 func TestShadowModelProperty(t *testing.T) {
 	prop := func(ops []uint8) bool {
-		mm := mustMem(t, 512 * mem.PageSize)
+		mm := mustMem(t, 512*mem.PageSize)
 		clk := &cycles.Clock{}
 		model := cycles.DefaultModel()
 		hw := New(clk, &model, mm)

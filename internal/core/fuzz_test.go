@@ -33,7 +33,7 @@ func FuzzRtranslate(f *testing.F) {
 	f.Add(^uint64(0), uint8(3))
 
 	f.Fuzz(func(t *testing.T, raw uint64, dir uint8) {
-		mm := mustMem(t, 64 * mem.PageSize)
+		mm := mustMem(t, 64*mem.PageSize)
 		clk := &cycles.Clock{}
 		model := cycles.DefaultModel()
 		hw := New(clk, &model, mm)

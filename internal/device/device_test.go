@@ -24,7 +24,7 @@ type fixture struct {
 
 func newFixture(t *testing.T, p NICProfile) *fixture {
 	t.Helper()
-	mm := mustMem(t, 512 * mem.PageSize)
+	mm := mustMem(t, 512*mem.PageSize)
 	eng := dma.NewEngine(mm, iommu.Identity{})
 	rx, err := ring.New(mm, 64)
 	if err != nil {
@@ -180,7 +180,7 @@ func TestNICRxBufferTooSmall(t *testing.T) {
 }
 
 func TestNVMeReadWrite(t *testing.T) {
-	mm := mustMem(t, 512 * mem.PageSize)
+	mm := mustMem(t, 512*mem.PageSize)
 	eng := dma.NewEngine(mm, iommu.Identity{})
 	ssd := NewNVMe(bdf, eng, 4096, 64)
 	q, err := NewNVMeQueuePair(mm, 16)
@@ -236,7 +236,7 @@ func TestNVMeReadWrite(t *testing.T) {
 }
 
 func TestNVMeBadLBA(t *testing.T) {
-	mm := mustMem(t, 128 * mem.PageSize)
+	mm := mustMem(t, 128*mem.PageSize)
 	eng := dma.NewEngine(mm, iommu.Identity{})
 	ssd := NewNVMe(bdf, eng, 4096, 4)
 	q, _ := NewNVMeQueuePair(mm, 8)
@@ -255,7 +255,7 @@ func TestNVMeBadLBA(t *testing.T) {
 }
 
 func TestNVMeQueueFull(t *testing.T) {
-	mm := mustMem(t, 128 * mem.PageSize)
+	mm := mustMem(t, 128*mem.PageSize)
 	q, err := NewNVMeQueuePair(mm, 4)
 	if err != nil {
 		t.Fatal(err)
@@ -275,7 +275,7 @@ func TestNVMeQueueFull(t *testing.T) {
 }
 
 func TestSATAOutOfOrderCompletion(t *testing.T) {
-	mm := mustMem(t, 512 * mem.PageSize)
+	mm := mustMem(t, 512*mem.PageSize)
 	eng := dma.NewEngine(mm, iommu.Identity{})
 	disk := NewSATA(bdf, eng, 512, 1024)
 
@@ -330,7 +330,7 @@ func TestSATAOutOfOrderCompletion(t *testing.T) {
 }
 
 func TestSATASlotExhaustion(t *testing.T) {
-	mm := mustMem(t, 128 * mem.PageSize)
+	mm := mustMem(t, 128*mem.PageSize)
 	eng := dma.NewEngine(mm, iommu.Identity{})
 	disk := NewSATA(bdf, eng, 512, 1024)
 	f, _ := mm.AllocFrame()

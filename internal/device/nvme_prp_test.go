@@ -12,7 +12,7 @@ import (
 // TestNVMePRPList exercises the scatter-gather path: a 3-page transfer whose
 // segments live in discontiguous frames addressed through a PRP list.
 func TestNVMePRPList(t *testing.T) {
-	mm := mustMem(t, 512 * mem.PageSize)
+	mm := mustMem(t, 512*mem.PageSize)
 	eng := dma.NewEngine(mm, iommu.Identity{})
 	ssd := NewNVMe(bdf, eng, 4096, 64)
 	q, err := NewNVMeQueuePair(mm, 16)
@@ -84,7 +84,7 @@ func TestNVMePRPList(t *testing.T) {
 // TestNVMePRPPartialTail: a transfer that is not a multiple of the segment
 // size only touches the tail bytes of the last segment.
 func TestNVMePRPPartialTail(t *testing.T) {
-	mm := mustMem(t, 128 * mem.PageSize)
+	mm := mustMem(t, 128*mem.PageSize)
 	eng := dma.NewEngine(mm, iommu.Identity{})
 	ssd := NewNVMe(bdf, eng, 4096, 16)
 	q, _ := NewNVMeQueuePair(mm, 8)
@@ -135,7 +135,7 @@ func TestNVMePRPPartialTail(t *testing.T) {
 // TestNVMePRPFaulting: a PRP entry pointing at an untranslatable address
 // fails the whole command with a fault status.
 func TestNVMePRPFaulting(t *testing.T) {
-	mm := mustMem(t, 128 * mem.PageSize)
+	mm := mustMem(t, 128*mem.PageSize)
 	eng := dma.NewEngine(mm, iommu.Identity{})
 	ssd := NewNVMe(bdf, eng, 4096, 16)
 	q, _ := NewNVMeQueuePair(mm, 8)

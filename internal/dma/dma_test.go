@@ -15,7 +15,7 @@ var dev = pci.NewBDF(0, 3, 0)
 
 func identityEngine(t *testing.T) (*Engine, *mem.PhysMem) {
 	t.Helper()
-	mm := mustMem(t, 64 * mem.PageSize)
+	mm := mustMem(t, 64*mem.PageSize)
 	return NewEngine(mm, iommu.Identity{}), mm
 }
 
@@ -77,7 +77,7 @@ func TestU64Accessors(t *testing.T) {
 // TestPageBoundarySplit verifies that a transfer spanning pages is split
 // into per-page translations, each mapped independently.
 func TestPageBoundarySplit(t *testing.T) {
-	mm := mustMem(t, 256 * mem.PageSize)
+	mm := mustMem(t, 256*mem.PageSize)
 	clk := &cycles.Clock{}
 	model := cycles.DefaultModel()
 	hier, err := pagetable.NewHierarchy(mm)
@@ -137,7 +137,7 @@ func TestPageBoundarySplit(t *testing.T) {
 // TestErrantDMABlocked verifies the core protection property: a DMA to an
 // unmapped or mis-permissioned IOVA faults and touches no memory.
 func TestErrantDMABlocked(t *testing.T) {
-	mm := mustMem(t, 256 * mem.PageSize)
+	mm := mustMem(t, 256*mem.PageSize)
 	clk := &cycles.Clock{}
 	model := cycles.DefaultModel()
 	hier, _ := pagetable.NewHierarchy(mm)
@@ -177,7 +177,7 @@ func TestErrantDMABlocked(t *testing.T) {
 // TestPartialFailureSpanning: if the second page of a spanning write is
 // unmapped, the first chunk may land but the call reports the fault.
 func TestPartialFailureSpanning(t *testing.T) {
-	mm := mustMem(t, 256 * mem.PageSize)
+	mm := mustMem(t, 256*mem.PageSize)
 	clk := &cycles.Clock{}
 	model := cycles.DefaultModel()
 	hier, _ := pagetable.NewHierarchy(mm)
@@ -201,7 +201,7 @@ func TestPartialFailureSpanning(t *testing.T) {
 }
 
 func TestRouter(t *testing.T) {
-	mm := mustMem(t, 64 * mem.PageSize)
+	mm := mustMem(t, 64*mem.PageSize)
 	r := NewRouter()
 	devA := pci.NewBDF(0, 1, 0)
 	r.Route(devA, iommu.Identity{})

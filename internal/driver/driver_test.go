@@ -15,7 +15,7 @@ import (
 var bdf = pci.NewBDF(0, 3, 0)
 
 func TestBufferPoolCarving(t *testing.T) {
-	mm := mustMem(t, 16 * mem.PageSize)
+	mm := mustMem(t, 16*mem.PageSize)
 	p := NewBufferPool(mm, 2048)
 	if p.BufSize() != 2048 {
 		t.Fatalf("BufSize = %d", p.BufSize())
@@ -46,7 +46,7 @@ func TestBufferPoolCarving(t *testing.T) {
 }
 
 func TestBufferPoolDefaults(t *testing.T) {
-	mm := mustMem(t, 16 * mem.PageSize)
+	mm := mustMem(t, 16*mem.PageSize)
 	if NewBufferPool(mm, 0).BufSize() != DefaultBufferSize {
 		t.Error("default buffer size not applied")
 	}
@@ -56,7 +56,7 @@ func TestBufferPoolDefaults(t *testing.T) {
 }
 
 func TestBufferPoolDestroyGuards(t *testing.T) {
-	mm := mustMem(t, 16 * mem.PageSize)
+	mm := mustMem(t, 16*mem.PageSize)
 	p := NewBufferPool(mm, 2048)
 	pa, _ := p.Get()
 	if err := p.Destroy(); err == nil {
@@ -69,7 +69,7 @@ func TestBufferPoolDestroyGuards(t *testing.T) {
 }
 
 func TestBufferPoolGrows(t *testing.T) {
-	mm := mustMem(t, 64 * mem.PageSize)
+	mm := mustMem(t, 64*mem.PageSize)
 	p := NewBufferPool(mm, mem.PageSize)
 	seen := map[mem.PA]bool{}
 	for i := 0; i < 20; i++ {
@@ -99,7 +99,7 @@ func TestNoProtection(t *testing.T) {
 // driver-level tests.
 func identityNIC(t *testing.T, profile device.NICProfile) (*NICDriver, *device.NIC, *mem.PhysMem) {
 	t.Helper()
-	mm := mustMem(t, 1 << 14 * mem.PageSize)
+	mm := mustMem(t, 1<<14*mem.PageSize)
 	eng := dma.NewEngine(mm, iommu.Identity{})
 	drv, nic, err := NewNICDriver(mm, NoProtection{}, eng, profile, bdf)
 	if err != nil {

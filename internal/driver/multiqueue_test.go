@@ -14,7 +14,7 @@ import (
 // mqFixture wires a 4-queue NIC under real rIOMMU protection.
 func mqFixture(t *testing.T, queues int) (*MQNIC, *core.RIOMMU) {
 	t.Helper()
-	mm := mustMem(t, 1 << 14 * mem.PageSize)
+	mm := mustMem(t, 1<<14*mem.PageSize)
 	clk := &cycles.Clock{}
 	model := cycles.DefaultModel()
 	hw := core.New(clk, &model, mm)
@@ -34,7 +34,7 @@ func mqFixture(t *testing.T, queues int) (*MQNIC, *core.RIOMMU) {
 }
 
 func TestMQNICValidation(t *testing.T) {
-	mm := mustMem(t, 256 * mem.PageSize)
+	mm := mustMem(t, 256*mem.PageSize)
 	eng := dma.NewEngine(mm, nil)
 	if _, err := NewMQNIC(mm, NoProtection{}, eng, device.ProfileBRCM, bdf, 0); err == nil {
 		t.Error("zero queues should fail")

@@ -30,12 +30,12 @@ func storageFixtures(t *testing.T) []storageFixture {
 
 	// none
 	{
-		mm := mustMem(t, 2048 * mem.PageSize)
+		mm := mustMem(t, 2048*mem.PageSize)
 		out = append(out, storageFixture{"none", mm, NoProtection{}, dma.NewEngine(mm, iommu.Identity{})})
 	}
 	// rIOMMU
 	{
-		mm := mustMem(t, 2048 * mem.PageSize)
+		mm := mustMem(t, 2048*mem.PageSize)
 		clk := &cycles.Clock{}
 		model := cycles.DefaultModel()
 		hw := core.New(clk, &model, mm)
@@ -47,7 +47,7 @@ func storageFixtures(t *testing.T) []storageFixture {
 	}
 	// baseline strict
 	{
-		mm := mustMem(t, 4096 * mem.PageSize)
+		mm := mustMem(t, 4096*mem.PageSize)
 		clk := &cycles.Clock{}
 		model := cycles.DefaultModel()
 		hier, err := pagetable.NewHierarchy(mm)

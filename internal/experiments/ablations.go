@@ -8,6 +8,7 @@ import (
 	"riommu/internal/core"
 	"riommu/internal/device"
 	"riommu/internal/driver"
+	"riommu/internal/parallel"
 	"riommu/internal/pci"
 	"riommu/internal/sim"
 	"riommu/internal/stats"
@@ -40,13 +41,15 @@ type AblationsResult struct {
 	Overflows map[uint32]int
 }
 
-// RunAblations measures all four sweeps.
-func RunAblations(q Quality) (AblationsResult, error) {
+// RunAblations measures all four sweeps, each fanned across cfg.Workers
+// with one isolated simulation world per sweep point.
+func RunAblations(cfg Config) (AblationsResult, error) {
 	res := AblationsResult{
 		BurstC:    map[int]float64{},
 		DeferC:    map[int]float64{},
 		Overflows: map[uint32]int{},
 	}
+	q := cfg.Quality
 	streamOpts := workload.StreamOpts{
 		Messages:       q.scale(80, 250),
 		WarmupMessages: q.scale(40, 100),
@@ -54,84 +57,95 @@ func RunAblations(q Quality) (AblationsResult, error) {
 
 	// 1. Burst-length sweep under rIOMMU.
 	res.BurstLens = []int{1, 8, 32, 200}
-	for _, burst := range res.BurstLens {
+	burstC, err := parallel.Map(cfg.Workers, res.BurstLens, func(_ int, burst int) (float64, error) {
 		o := streamOpts
 		o.TxBurst = burst
 		r, err := workload.NetperfStream(sim.RIOMMU, device.ProfileMLX, o)
-		if err != nil {
-			return res, err
-		}
-		res.BurstC[burst] = r.CyclesPerUnit
+		return r.CyclesPerUnit, err
+	})
+	if err != nil {
+		return res, err
+	}
+	for i, burst := range res.BurstLens {
+		res.BurstC[burst] = burstC[i]
 	}
 
 	// 2. Deferred-batch sweep.
 	res.DeferBatches = []int{1, 25, 250, 1000}
-	for _, batch := range res.DeferBatches {
+	deferC, err := parallel.Map(cfg.Workers, res.DeferBatches, func(_ int, batch int) (float64, error) {
 		o := streamOpts
 		o.DeferBatch = batch
 		r, err := workload.NetperfStream(sim.Defer, device.ProfileMLX, o)
-		if err != nil {
-			return res, err
-		}
-		res.DeferC[batch] = r.CyclesPerUnit
+		return r.CyclesPerUnit, err
+	})
+	if err != nil {
+		return res, err
+	}
+	for i, batch := range res.DeferBatches {
+		res.DeferC[batch] = deferC[i]
 	}
 
 	// 3. Prefetch on/off: device-side flat-table fetch counts for the same
 	// sequential workload.
-	for _, disable := range []bool{false, true} {
+	type prefetchCell struct {
+		fetches uint64
+		hitRate float64
+	}
+	prefetchCells, err := parallel.Map(cfg.Workers, []bool{false, true}, func(_ int, disable bool) (prefetchCell, error) {
+		var cell prefetchCell
 		sys, err := sim.NewSystem(sim.RIOMMU, workload.MemPages)
 		if err != nil {
-			return res, err
+			return cell, err
 		}
 		sys.RHW.DisablePrefetch = disable
 		drv, _, err := sys.AttachNIC(device.ProfileBRCM, pci.NewBDF(0, 3, 0))
 		if err != nil {
-			return res, err
+			return cell, err
 		}
 		payload := make([]byte, 1000)
 		for i := 0; i < q.scale(500, 2000); i++ {
 			if err := drv.Send(payload); err != nil {
-				return res, err
+				return cell, err
 			}
 			if i%100 == 99 {
 				if _, err := drv.PumpTx(100); err != nil {
-					return res, err
+					return cell, err
 				}
 				if _, err := drv.ReapTx(); err != nil {
-					return res, err
+					return cell, err
 				}
 			}
 		}
 		st := sys.RHW.Stats()
-		if disable {
-			res.FetchesWithout = st.TableFetches
-		} else {
-			res.FetchesWith = st.TableFetches
-			if st.PrefetchHits+st.TableFetches > 0 {
-				res.PrefetchHitRate = float64(st.PrefetchHits) / float64(st.PrefetchHits+st.TableFetches)
-			}
+		cell.fetches = st.TableFetches
+		if st.PrefetchHits+st.TableFetches > 0 {
+			cell.hitRate = float64(st.PrefetchHits) / float64(st.PrefetchHits+st.TableFetches)
 		}
-		if err := drv.Teardown(); err != nil {
-			return res, err
-		}
+		return cell, drv.Teardown()
+	})
+	if err != nil {
+		return res, err
 	}
+	res.FetchesWith = prefetchCells[0].fetches
+	res.PrefetchHitRate = prefetchCells[0].hitRate
+	res.FetchesWithout = prefetchCells[1].fetches
 
 	// 4. Ring sizing: demand L=64 concurrent mappings against flat tables
 	// of various sizes; undersized tables overflow (legal; the driver must
 	// slow down, §4).
 	res.RingSizes = []uint32{16, 32, 64, 128}
-	for _, n := range res.RingSizes {
+	overflowCells, err := parallel.Map(cfg.Workers, res.RingSizes, func(_ int, n uint32) (int, error) {
 		sys, err := sim.NewSystem(sim.RIOMMU, 1<<13)
 		if err != nil {
-			return res, err
+			return 0, err
 		}
 		prot, err := sys.ProtectionFor(pci.NewBDF(0, 3, 0), []uint32{2, n, n})
 		if err != nil {
-			return res, err
+			return 0, err
 		}
 		f, err := sys.Mem.AllocFrame()
 		if err != nil {
-			return res, err
+			return 0, err
 		}
 		overflows := 0
 		var live []uint64
@@ -142,18 +156,53 @@ func RunAblations(q Quality) (AblationsResult, error) {
 				continue
 			}
 			if err != nil {
-				return res, err
+				return 0, err
 			}
 			live = append(live, iova)
 		}
 		for i, v := range live {
 			if err := prot.Unmap(driver.RingTx, v, 64, i == len(live)-1); err != nil {
-				return res, err
+				return 0, err
 			}
 		}
-		res.Overflows[n] = overflows
+		return overflows, nil
+	})
+	if err != nil {
+		return res, err
+	}
+	for i, n := range res.RingSizes {
+		res.Overflows[n] = overflowCells[i]
 	}
 	return res, nil
+}
+
+// Cells emits every sweep point of the four ablations.
+func (r AblationsResult) Cells() []Cell {
+	var out []Cell
+	for _, n := range r.BurstLens {
+		out = append(out, C("ablations", fmt.Sprintf("burst/%d", n), map[string]float64{
+			"cycles_per_packet": r.BurstC[n],
+		}))
+	}
+	for _, n := range r.DeferBatches {
+		out = append(out, C("ablations", fmt.Sprintf("defer-batch/%d", n), map[string]float64{
+			"cycles_per_packet": r.DeferC[n],
+		}))
+	}
+	out = append(out,
+		C("ablations", "prefetch/on", map[string]float64{
+			"table_fetches": float64(r.FetchesWith),
+			"hit_rate":      r.PrefetchHitRate,
+		}),
+		C("ablations", "prefetch/off", map[string]float64{
+			"table_fetches": float64(r.FetchesWithout),
+		}))
+	for _, n := range r.RingSizes {
+		out = append(out, C("ablations", fmt.Sprintf("ring-size/%d", n), map[string]float64{
+			"overflows": float64(r.Overflows[n]),
+		}))
+	}
+	return out
 }
 
 // Render prints all four sweeps.
@@ -197,12 +246,6 @@ func init() {
 		ID:    "ablations",
 		Title: "Ablations: burst length, defer batch, prefetching, ring sizing",
 		Paper: "design-choice sweeps behind §4's claims: ~200-iteration bursts amortize invalidations; defer batches 250; prefetch optional; N >= L",
-		Run: func(q Quality) (string, error) {
-			r, err := RunAblations(q)
-			if err != nil {
-				return "", err
-			}
-			return r.Render(), nil
-		},
+		Run:   wrap(RunAblations),
 	})
 }

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"riommu/internal/parallel"
 	"riommu/internal/sim"
 	"riommu/internal/stats"
 	"riommu/internal/workload"
@@ -21,22 +22,36 @@ type BonnieResult struct {
 // RunBonnie measures sequential throughput in strict and none modes (plus
 // rIOMMU for completeness, though §4 notes SATA's out-of-order 32-slot
 // queue is outside rIOMMU's target class).
-func RunBonnie(q Quality) (BonnieResult, error) {
+func RunBonnie(cfg Config) (BonnieResult, error) {
 	res := BonnieResult{
 		Modes: []sim.Mode{sim.Strict, sim.None},
 		MBps:  map[sim.Mode]float64{},
 		CPU:   map[sim.Mode]float64{},
 	}
-	opts := workload.BonnieOpts{Ops: q.scale(200, 800)}
-	for _, m := range res.Modes {
-		r, err := workload.Bonnie(m, opts)
-		if err != nil {
-			return res, err
-		}
-		res.MBps[m] = r.Throughput
-		res.CPU[m] = r.CPU
+	opts := workload.BonnieOpts{Ops: cfg.Quality.scale(200, 800)}
+	cells, err := parallel.Map(cfg.Workers, res.Modes, func(_ int, m sim.Mode) (workload.Result, error) {
+		return workload.Bonnie(m, opts)
+	})
+	if err != nil {
+		return res, err
+	}
+	for i, m := range res.Modes {
+		res.MBps[m] = cells[i].Throughput
+		res.CPU[m] = cells[i].CPU
 	}
 	return res, nil
+}
+
+// Cells emits the per-mode throughput points.
+func (r BonnieResult) Cells() []Cell {
+	out := make([]Cell, 0, len(r.Modes))
+	for _, m := range r.Modes {
+		out = append(out, C("bonnie", m.String(), map[string]float64{
+			"mbps": r.MBps[m],
+			"cpu":  r.CPU[m],
+		}))
+	}
+	return out
 }
 
 // Render prints the comparison.
@@ -59,12 +74,6 @@ func init() {
 		ID:    "bonnie",
 		Title: "Sec 4: SATA applicability — Bonnie++ sequential I/O",
 		Paper: "indistinguishable performance with strict IOMMU protection and with a disabled IOMMU, HDD or SSD",
-		Run: func(q Quality) (string, error) {
-			r, err := RunBonnie(q)
-			if err != nil {
-				return "", err
-			}
-			return r.Render(), nil
-		},
+		Run:   wrap(RunBonnie),
 	})
 }

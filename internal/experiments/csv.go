@@ -69,7 +69,7 @@ func (r Figure12Result) CSV(dir string) error {
 	for _, nic := range r.NICs {
 		var rows [][]string
 		for _, bench := range r.Benches {
-			cells := r.Cells[BenchKey{Bench: bench, NIC: nic.Name}]
+			cells := r.Matrix[BenchKey{Bench: bench, NIC: nic.Name}]
 			for _, m := range r.Modes {
 				c := cells[m]
 				rows = append(rows, []string{
@@ -88,22 +88,22 @@ func (r Figure12Result) CSV(dir string) error {
 
 // ExportCSV regenerates the three figures and writes their data series
 // under dir. Used by riommu-bench -csv.
-func ExportCSV(dir string, q Quality) error {
-	f7, err := RunFigure7(q)
+func ExportCSV(dir string, cfg Config) error {
+	f7, err := RunFigure7(cfg)
 	if err != nil {
 		return fmt.Errorf("figure7: %w", err)
 	}
 	if err := f7.CSV(dir); err != nil {
 		return err
 	}
-	f8, err := RunFigure8(q)
+	f8, err := RunFigure8(cfg)
 	if err != nil {
 		return fmt.Errorf("figure8: %w", err)
 	}
 	if err := f8.CSV(dir); err != nil {
 		return err
 	}
-	f12, err := RunFigure12(q)
+	f12, err := RunFigure12(cfg)
 	if err != nil {
 		return fmt.Errorf("figure12: %w", err)
 	}

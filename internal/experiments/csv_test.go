@@ -23,7 +23,7 @@ func readCSV(t *testing.T, path string) [][]string {
 }
 
 func TestFigure7CSV(t *testing.T) {
-	r, err := RunFigure7(Quick)
+	r, err := RunFigure7(Serial(Quick))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +67,7 @@ func TestFigure7CSV(t *testing.T) {
 }
 
 func TestFigure8CSV(t *testing.T) {
-	r, err := RunFigure8(Quick)
+	r, err := RunFigure8(Serial(Quick))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +87,7 @@ func TestFigure8CSV(t *testing.T) {
 
 func TestExportCSVEndToEnd(t *testing.T) {
 	dir := t.TempDir()
-	if err := ExportCSV(dir, Quick); err != nil {
+	if err := ExportCSV(dir, Serial(Quick)); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range []string{"figure7.csv", "figure8.csv", "figure12_mlx.csv", "figure12_brcm.csv"} {

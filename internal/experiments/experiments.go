@@ -37,13 +37,61 @@ func (q Quality) scale(quick, full int) int {
 	return quick
 }
 
+// String names the quality level ("quick" or "full").
+func (q Quality) String() string {
+	if q == Full {
+		return "full"
+	}
+	return "quick"
+}
+
+// Config selects how an experiment runs: the Quality (run lengths) and the
+// number of concurrent cell workers. Workers <= 1 is the legacy serial
+// path; any value yields byte-identical results (see internal/parallel).
+type Config struct {
+	Quality Quality
+	// Workers bounds the concurrent grid cells. Each in-flight cell owns a
+	// fully isolated simulation world, so Workers also bounds live
+	// simulated memories.
+	Workers int
+}
+
+// Serial is the canonical single-worker config used by tests and golden
+// generation.
+func Serial(q Quality) Config { return Config{Quality: q, Workers: 1} }
+
+// Output is one experiment's deliverable: the paper-style rendering plus
+// the machine-readable per-cell metrics CI diffs exactly.
+type Output struct {
+	Text  string
+	Cells []Cell
+}
+
 // Experiment is a registered, runnable reproduction of one table/figure.
 type Experiment struct {
 	ID    string
 	Title string
 	// Paper summarizes what the paper reports for this experiment.
 	Paper string
-	Run   func(q Quality) (string, error)
+	Run   func(cfg Config) (Output, error)
+}
+
+// renderer is a structured experiment result that can produce both halves
+// of an Output.
+type renderer interface {
+	Render() string
+	Cells() []Cell
+}
+
+// wrap adapts a structured Run* function into the registry's Run shape.
+func wrap[R renderer](run func(Config) (R, error)) func(Config) (Output, error) {
+	return func(cfg Config) (Output, error) {
+		r, err := run(cfg)
+		if err != nil {
+			return Output{}, err
+		}
+		return Output{Text: r.Render(), Cells: r.Cells()}, nil
+	}
 }
 
 var registry = map[string]Experiment{}

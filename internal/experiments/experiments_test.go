@@ -42,7 +42,7 @@ func TestRegistry(t *testing.T) {
 }
 
 func TestTable1Shape(t *testing.T) {
-	r, err := RunTable1(Quick)
+	r, err := RunTable1(Serial(Quick))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +75,7 @@ func TestTable1Shape(t *testing.T) {
 }
 
 func TestFigure7Shape(t *testing.T) {
-	r, err := RunFigure7(Quick)
+	r, err := RunFigure7(Serial(Quick))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +106,7 @@ func TestFigure7Shape(t *testing.T) {
 }
 
 func TestFigure8ModelCoincides(t *testing.T) {
-	r, err := RunFigure8(Quick)
+	r, err := RunFigure8(Serial(Quick))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +135,7 @@ func TestFigure8ModelCoincides(t *testing.T) {
 }
 
 func TestTable3Shape(t *testing.T) {
-	r, err := RunTable3(Quick)
+	r, err := RunTable3(Serial(Quick))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +151,7 @@ func TestTable3Shape(t *testing.T) {
 }
 
 func TestMissPenalty(t *testing.T) {
-	r, err := RunMissPenalty(Quick)
+	r, err := RunMissPenalty(Serial(Quick))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +174,7 @@ func TestMissPenalty(t *testing.T) {
 }
 
 func TestPrefetchersFindings(t *testing.T) {
-	r, err := RunPrefetchers(Quick)
+	r, err := RunPrefetchers(Serial(Quick))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +215,7 @@ func TestPrefetchersFindings(t *testing.T) {
 }
 
 func TestAblations(t *testing.T) {
-	r, err := RunAblations(Quick)
+	r, err := RunAblations(Serial(Quick))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,7 +256,7 @@ func TestAblations(t *testing.T) {
 }
 
 func TestMethodologyValidation(t *testing.T) {
-	r, err := RunMethodology(Quick)
+	r, err := RunMethodology(Serial(Quick))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -286,7 +286,7 @@ func TestMethodologyValidation(t *testing.T) {
 }
 
 func TestPathologyScalesLinearly(t *testing.T) {
-	r, err := RunPathology(Quick)
+	r, err := RunPathology(Serial(Quick))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -316,7 +316,7 @@ func TestPathologyScalesLinearly(t *testing.T) {
 }
 
 func TestNVMeExtension(t *testing.T) {
-	r, err := RunNVMe(Quick)
+	r, err := RunNVMe(Serial(Quick))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -343,7 +343,7 @@ func TestNVMeExtension(t *testing.T) {
 }
 
 func TestBonnieIndistinguishable(t *testing.T) {
-	r, err := RunBonnie(Quick)
+	r, err := RunBonnie(Serial(Quick))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"riommu/internal/device"
+	"riommu/internal/parallel"
 	"riommu/internal/sim"
 	"riommu/internal/stats"
 	"riommu/internal/workload"
@@ -22,45 +23,98 @@ type Figure12Result struct {
 	NICs    []device.NICProfile
 	Benches []string
 	Modes   []sim.Mode
-	Cells   map[BenchKey]map[sim.Mode]workload.Result
+	Matrix  map[BenchKey]map[sim.Mode]workload.Result
 }
 
 // RunFigure12 measures all five benchmarks on both NIC profiles in all
-// seven modes.
-func RunFigure12(q Quality) (Figure12Result, error) {
+// seven modes. The full nic x benchmark x mode matrix is flattened into
+// one cell grid; every cell builds its own simulated system.
+func RunFigure12(cfg Config) (Figure12Result, error) {
 	res := Figure12Result{
 		NICs:    []device.NICProfile{device.ProfileMLX, device.ProfileBRCM},
 		Benches: []string{"stream", "rr", "apache-1M", "apache-1K", "memcached"},
 		Modes:   sim.AllModes(),
-		Cells:   map[BenchKey]map[sim.Mode]workload.Result{},
+		Matrix:  map[BenchKey]map[sim.Mode]workload.Result{},
 	}
+	q := cfg.Quality
 	streamOpts := workload.StreamOpts{Messages: q.scale(100, 300), WarmupMessages: q.scale(50, 120)}
 	rrOpts := workload.RROpts{Transactions: q.scale(300, 1500), Warmup: q.scale(80, 300)}
 	ap1M := workload.ApacheOpts{FileBytes: 1 << 20, Requests: q.scale(6, 20), Warmup: 2}
 	ap1K := workload.ApacheOpts{FileBytes: 1024, Requests: q.scale(100, 300), Warmup: q.scale(30, 80)}
 	memOpts := workload.MemcachedOpts{Operations: q.scale(400, 1500), Warmup: q.scale(120, 400)}
 
-	for _, nic := range res.NICs {
-		runners := map[string]func(sim.Mode) (workload.Result, error){
-			"stream":    func(m sim.Mode) (workload.Result, error) { return workload.NetperfStream(m, nic, streamOpts) },
-			"rr":        func(m sim.Mode) (workload.Result, error) { return workload.NetperfRR(m, nic, rrOpts) },
-			"apache-1M": func(m sim.Mode) (workload.Result, error) { return workload.Apache(m, nic, ap1M) },
-			"apache-1K": func(m sim.Mode) (workload.Result, error) { return workload.Apache(m, nic, ap1K) },
-			"memcached": func(m sim.Mode) (workload.Result, error) { return workload.Memcached(m, nic, memOpts) },
+	runCell := func(nic device.NICProfile, bench string, m sim.Mode) (workload.Result, error) {
+		switch bench {
+		case "stream":
+			return workload.NetperfStream(m, nic, streamOpts)
+		case "rr":
+			return workload.NetperfRR(m, nic, rrOpts)
+		case "apache-1M":
+			return workload.Apache(m, nic, ap1M)
+		case "apache-1K":
+			return workload.Apache(m, nic, ap1K)
+		case "memcached":
+			return workload.Memcached(m, nic, memOpts)
 		}
+		return workload.Result{}, fmt.Errorf("unknown benchmark %q", bench)
+	}
+
+	type gridKey struct {
+		nic   device.NICProfile
+		bench string
+		mode  sim.Mode
+	}
+	var grid []gridKey
+	for _, nic := range res.NICs {
 		for _, bench := range res.Benches {
-			key := BenchKey{Bench: bench, NIC: nic.Name}
-			res.Cells[key] = map[sim.Mode]workload.Result{}
 			for _, m := range res.Modes {
-				r, err := runners[bench](m)
-				if err != nil {
-					return res, fmt.Errorf("%s/%s/%s: %w", nic.Name, bench, m, err)
-				}
-				res.Cells[key][m] = r
+				grid = append(grid, gridKey{nic: nic, bench: bench, mode: m})
 			}
 		}
 	}
+	cells, err := parallel.Map(cfg.Workers, grid, func(_ int, k gridKey) (workload.Result, error) {
+		r, err := runCell(k.nic, k.bench, k.mode)
+		if err != nil {
+			return r, fmt.Errorf("%s/%s/%s: %w", k.nic.Name, k.bench, k.mode, err)
+		}
+		return r, nil
+	})
+	if err != nil {
+		return res, err
+	}
+	for i, k := range grid {
+		key := BenchKey{Bench: k.bench, NIC: k.nic.Name}
+		if res.Matrix[key] == nil {
+			res.Matrix[key] = map[sim.Mode]workload.Result{}
+		}
+		res.Matrix[key][k.mode] = cells[i]
+	}
 	return res, nil
+}
+
+// cellMetrics emits one Figure 12 matrix point's metrics.
+func cellMetrics(r workload.Result) map[string]float64 {
+	return map[string]float64{
+		"throughput":      r.Throughput,
+		"cpu":             r.CPU,
+		"cycles_per_unit": r.CyclesPerUnit,
+		"latency_us":      r.LatencyMicros,
+		"units":           float64(r.Units),
+	}
+}
+
+// Cells emits the full matrix in grid order.
+func (r Figure12Result) Cells() []Cell {
+	var out []Cell
+	for _, nic := range r.NICs {
+		for _, bench := range r.Benches {
+			cells := r.Matrix[BenchKey{Bench: bench, NIC: nic.Name}]
+			for _, m := range r.Modes {
+				out = append(out, C("figure12", nic.Name+"/"+bench+"/"+m.String(), cellMetrics(cells[m])))
+			}
+		}
+	}
+	return out
 }
 
 // Render prints one table per NIC with throughput and CPU per benchmark.
@@ -72,7 +126,7 @@ func (r Figure12Result) Render() string {
 			"benchmark", "unit", "metric", "strict", "strict+", "defer", "defer+", "riommu-", "riommu", "none")
 		t.AlignLeft(1).AlignLeft(2)
 		for _, bench := range r.Benches {
-			cells := r.Cells[BenchKey{Bench: bench, NIC: nic.Name}]
+			cells := r.Matrix[BenchKey{Bench: bench, NIC: nic.Name}]
 			tput := []string{bench, cells[sim.None].Unit, "tput"}
 			cpu := []string{"", "%", "cpu"}
 			for _, m := range r.Modes {
@@ -93,12 +147,6 @@ func init() {
 		ID:    "figure12",
 		Title: "Figure 12: throughput and CPU for all benchmarks, modes and NICs",
 		Paper: "mlx/stream: riommu 0.77x none, 7.56x strict; brcm: all modes but strict saturate 10GbE; rr/apache-1K/memcached per §5.2",
-		Run: func(q Quality) (string, error) {
-			r, err := RunFigure12(q)
-			if err != nil {
-				return "", err
-			}
-			return r.Render(), nil
-		},
+		Run:   wrap(RunFigure12),
 	})
 }

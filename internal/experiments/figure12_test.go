@@ -14,7 +14,7 @@ import (
 // documented strict-mode overshoot (EXPERIMENTS.md, divergence 2) and get
 // loose bands that still pin the ordering and rough magnitude.
 func TestFigure12AndTable2(t *testing.T) {
-	r, err := RunTable2(Quick)
+	r, err := RunTable2(Serial(Quick))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,6 +5,7 @@ import (
 
 	"riommu/internal/cycles"
 	"riommu/internal/device"
+	"riommu/internal/parallel"
 	"riommu/internal/sim"
 	"riommu/internal/stats"
 	"riommu/internal/workload"
@@ -25,7 +26,8 @@ type Figure7Result struct {
 const Figure7PaperCNone = 1816.0
 
 // RunFigure7 measures per-packet cycles per mode under mlx Netperf stream.
-func RunFigure7(q Quality) (Figure7Result, error) {
+// Each mode is one grid cell with its own simulation world.
+func RunFigure7(cfg Config) (Figure7Result, error) {
 	res := Figure7Result{
 		Modes:     sim.AllModes(),
 		IOVA:      map[sim.Mode]float64{},
@@ -35,14 +37,17 @@ func RunFigure7(q Quality) (Figure7Result, error) {
 		Total:     map[sim.Mode]float64{},
 	}
 	opts := workload.StreamOpts{
-		Messages:       q.scale(120, 400),
-		WarmupMessages: q.scale(60, 150),
+		Messages:       cfg.Quality.scale(120, 400),
+		WarmupMessages: cfg.Quality.scale(60, 150),
 	}
-	for _, m := range res.Modes {
-		r, err := workload.NetperfStream(m, device.ProfileMLX, opts)
-		if err != nil {
-			return res, err
-		}
+	cells, err := parallel.Map(cfg.Workers, res.Modes, func(_ int, m sim.Mode) (workload.Result, error) {
+		return workload.NetperfStream(m, device.ProfileMLX, opts)
+	})
+	if err != nil {
+		return res, err
+	}
+	for i, m := range res.Modes {
+		r := cells[i]
 		b := r.Breakdown
 		pkts := float64(r.Units)
 		res.IOVA[m] = float64(b.Total(cycles.MapIOVAAlloc)+b.Total(cycles.UnmapIOVAFind)+b.Total(cycles.UnmapIOVAFree)) / pkts
@@ -53,6 +58,21 @@ func RunFigure7(q Quality) (Figure7Result, error) {
 	}
 	res.CNone = res.Total[sim.None]
 	return res, nil
+}
+
+// Cells emits the per-mode stacked components.
+func (r Figure7Result) Cells() []Cell {
+	out := make([]Cell, 0, len(r.Modes))
+	for _, m := range r.Modes {
+		out = append(out, C("figure7", m.String(), map[string]float64{
+			"iova_dealloc": r.IOVA[m],
+			"page_table":   r.PageTable[m],
+			"iotlb_inv":    r.Inv[m],
+			"other":        r.Other[m],
+			"total":        r.Total[m],
+		}))
+	}
+	return out
 }
 
 // Render produces the stacked-bar data as a table plus relative labels.
@@ -72,12 +92,6 @@ func init() {
 		ID:    "figure7",
 		Title: "Figure 7: cycles per packet per mode, stacked by component",
 		Paper: "C_none=1,816; C_strict ≈ 9.4x none; C_defer+ ≈ 3.3x none; rIOMMU brings C near C_none",
-		Run: func(q Quality) (string, error) {
-			r, err := RunFigure7(q)
-			if err != nil {
-				return "", err
-			}
-			return r.Render(), nil
-		},
+		Run:   wrap(RunFigure7),
 	})
 }

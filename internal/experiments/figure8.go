@@ -5,6 +5,7 @@ import (
 
 	"riommu/internal/cycles"
 	"riommu/internal/device"
+	"riommu/internal/parallel"
 	"riommu/internal/perfmodel"
 	"riommu/internal/sim"
 	"riommu/internal/stats"
@@ -28,8 +29,9 @@ type Figure8Result struct {
 	Modes []Figure8Point // cross points: the seven modes
 }
 
-// RunFigure8 regenerates Figure 8 on the mlx profile.
-func RunFigure8(q Quality) (Figure8Result, error) {
+// RunFigure8 regenerates Figure 8 on the mlx profile. The busy-wait sweep
+// points and the mode points are independent cells.
+func RunFigure8(cfg Config) (Figure8Result, error) {
 	var res Figure8Result
 	model := cycles.DefaultModel()
 
@@ -44,36 +46,66 @@ func RunFigure8(q Quality) (Figure8Result, error) {
 	// Busy-wait sweep: systematically lengthen C_none with a controlled
 	// per-packet busy-wait loop, as §3.3 does, and measure throughput.
 	opts := workload.StreamOpts{
-		Messages:       q.scale(60, 200),
-		WarmupMessages: q.scale(20, 60),
+		Messages:       cfg.Quality.scale(60, 200),
+		WarmupMessages: cfg.Quality.scale(20, 60),
 	}
-	for _, extra := range []uint64{0, 1000, 2000, 4000, 8000, 16000} {
+	extras := []uint64{0, 1000, 2000, 4000, 8000, 16000}
+	sweep, err := parallel.Map(cfg.Workers, extras, func(_ int, extra uint64) (Figure8Point, error) {
 		r, err := workload.NetperfStreamBusyWait(sim.None, device.ProfileMLX, opts, extra)
 		if err != nil {
-			return res, err
+			return Figure8Point{}, err
 		}
-		res.Sweep = append(res.Sweep, Figure8Point{
+		return Figure8Point{
 			Cycles:      r.CyclesPerUnit,
 			ModelGbs:    perfmodel.Gbps(model, r.CyclesPerUnit, device.ProfileMLX.LineRateGbps),
 			MeasuredGbs: r.Throughput,
 			Label:       fmt.Sprintf("busywait+%d", extra),
-		})
+		}, nil
+	})
+	if err != nil {
+		return res, err
 	}
+	res.Sweep = sweep
 
 	// Mode points.
-	for _, m := range sim.AllModes() {
+	modes, err := parallel.Map(cfg.Workers, sim.AllModes(), func(_ int, m sim.Mode) (Figure8Point, error) {
 		r, err := workload.NetperfStream(m, device.ProfileMLX, opts)
 		if err != nil {
-			return res, err
+			return Figure8Point{}, err
 		}
-		res.Modes = append(res.Modes, Figure8Point{
+		return Figure8Point{
 			Cycles:      r.CyclesPerUnit,
 			ModelGbs:    perfmodel.Gbps(model, r.CyclesPerUnit, device.ProfileMLX.LineRateGbps),
 			MeasuredGbs: r.Throughput,
 			Label:       m.String(),
-		})
+		}, nil
+	})
+	if err != nil {
+		return res, err
 	}
+	res.Modes = modes
 	return res, nil
+}
+
+// Cells emits every measured point (the analytic model curve regenerates
+// from the cycles model, which the mode points already pin down).
+func (r Figure8Result) Cells() []Cell {
+	var out []Cell
+	for _, p := range r.Sweep {
+		out = append(out, C("figure8", "sweep/"+p.Label, map[string]float64{
+			"cycles":        p.Cycles,
+			"model_gbps":    p.ModelGbs,
+			"measured_gbps": p.MeasuredGbs,
+		}))
+	}
+	for _, p := range r.Modes {
+		out = append(out, C("figure8", "mode/"+p.Label, map[string]float64{
+			"cycles":        p.Cycles,
+			"model_gbps":    p.ModelGbs,
+			"measured_gbps": p.MeasuredGbs,
+		}))
+	}
+	return out
 }
 
 // Render prints the sweep and mode points against the model.
@@ -97,12 +129,6 @@ func init() {
 		ID:    "figure8",
 		Title: "Figure 8: throughput as a function of cycles per packet",
 		Paper: "the Gbps(C)=1500B*8*S/C model coincides with busy-wait-lengthened runs and with all IOMMU-mode measurements",
-		Run: func(q Quality) (string, error) {
-			r, err := RunFigure8(q)
-			if err != nil {
-				return "", err
-			}
-			return r.Render(), nil
-		},
+		Run:   wrap(RunFigure8),
 	})
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"riommu/internal/device"
+	"riommu/internal/parallel"
 	"riommu/internal/sim"
 	"riommu/internal/stats"
 	"riommu/internal/workload"
@@ -35,55 +36,84 @@ type MethodologyResult struct {
 	SWptMisses uint64
 }
 
-// RunMethodology measures stream and RR under none/HWpt/SWpt.
-func RunMethodology(q Quality) (MethodologyResult, error) {
+// RunMethodology measures stream and RR under none/HWpt/SWpt. Each
+// (mode, benchmark) pair is one cell; the SWpt walk count is a final cell
+// of its own.
+func RunMethodology(cfg Config) (MethodologyResult, error) {
 	res := MethodologyResult{
 		Modes:      []sim.Mode{sim.None, sim.HWpt, sim.SWpt},
 		StreamGbps: map[sim.Mode]float64{},
 		StreamC:    map[sim.Mode]float64{},
 		RRMicros:   map[sim.Mode]float64{},
 	}
+	q := cfg.Quality
 	streamOpts := workload.StreamOpts{Messages: q.scale(80, 250), WarmupMessages: q.scale(30, 80)}
 	rrOpts := workload.RROpts{Transactions: q.scale(300, 1500), Warmup: q.scale(80, 200)}
 
-	for _, m := range res.Modes {
-		st, err := workload.NetperfStream(m, device.ProfileMLX, streamOpts)
-		if err != nil {
-			return res, err
+	// Grid: per mode a stream cell and an RR cell, then one walk-count cell.
+	streams := make([]workload.Result, len(res.Modes))
+	rrs := make([]workload.Result, len(res.Modes))
+	err := parallel.Run(cfg.Workers, 2*len(res.Modes)+1, func(i int) error {
+		switch {
+		case i < len(res.Modes):
+			st, err := workload.NetperfStream(res.Modes[i], device.ProfileMLX, streamOpts)
+			streams[i] = st
+			return err
+		case i < 2*len(res.Modes):
+			rr, err := workload.NetperfRR(res.Modes[i-len(res.Modes)], device.ProfileMLX, rrOpts)
+			rrs[i-len(res.Modes)] = rr
+			return err
 		}
-		res.StreamGbps[m] = st.Throughput
-		res.StreamC[m] = st.CyclesPerUnit
-
-		rr, err := workload.NetperfRR(m, device.ProfileMLX, rrOpts)
+		// Count the SWpt walks directly: one short run with the stats read
+		// out.
+		sys, err := sim.NewSystem(sim.SWpt, workload.MemPages)
 		if err != nil {
-			return res, err
+			return err
 		}
-		res.RRMicros[m] = rr.LatencyMicros
-	}
-
-	// Count the SWpt walks directly: one short run with the stats read out.
-	sys, err := sim.NewSystem(sim.SWpt, workload.MemPages)
+		drv, _, err := sys.AttachNIC(device.ProfileMLX, workload.NICBDF)
+		if err != nil {
+			return err
+		}
+		payload := make([]byte, 1000)
+		for i := 0; i < 256; i++ {
+			if err := drv.Send(payload); err != nil {
+				return err
+			}
+		}
+		if _, err := drv.PumpTx(256); err != nil {
+			return err
+		}
+		if _, err := drv.ReapTx(); err != nil {
+			return err
+		}
+		res.SWptMisses = sys.BaseHW.TLB().Stats().Misses
+		return nil
+	})
 	if err != nil {
 		return res, err
 	}
-	drv, _, err := sys.AttachNIC(device.ProfileMLX, workload.NICBDF)
-	if err != nil {
-		return res, err
+	for i, m := range res.Modes {
+		res.StreamGbps[m] = streams[i].Throughput
+		res.StreamC[m] = streams[i].CyclesPerUnit
+		res.RRMicros[m] = rrs[i].LatencyMicros
 	}
-	payload := make([]byte, 1000)
-	for i := 0; i < 256; i++ {
-		if err := drv.Send(payload); err != nil {
-			return res, err
-		}
-	}
-	if _, err := drv.PumpTx(256); err != nil {
-		return res, err
-	}
-	if _, err := drv.ReapTx(); err != nil {
-		return res, err
-	}
-	res.SWptMisses = sys.BaseHW.TLB().Stats().Misses
 	return res, nil
+}
+
+// Cells emits the per-mode validation points.
+func (r MethodologyResult) Cells() []Cell {
+	var out []Cell
+	for _, m := range r.Modes {
+		out = append(out, C("methodology", m.String(), map[string]float64{
+			"stream_gbps":       r.StreamGbps[m],
+			"cycles_per_packet": r.StreamC[m],
+			"rr_rtt_us":         r.RRMicros[m],
+		}))
+	}
+	out = append(out, C("methodology", "swpt-misses", map[string]float64{
+		"iotlb_misses": float64(r.SWptMisses),
+	}))
+	return out
 }
 
 // Render prints the validation table.
@@ -107,12 +137,6 @@ func init() {
 		ID:    "methodology",
 		Title: "Sec 5.1: HWpt/SWpt methodology validation",
 		Paper: "HWpt == SWpt everywhere; RR identical to none; stream ~10% below none, caused by ~200 cycles of kernel abstraction, not translation",
-		Run: func(q Quality) (string, error) {
-			r, err := RunMethodology(q)
-			if err != nil {
-				return "", err
-			}
-			return r.Render(), nil
-		},
+		Run:   wrap(RunMethodology),
 	})
 }

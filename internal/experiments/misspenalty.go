@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"riommu/internal/driver"
+	"riommu/internal/parallel"
 	"riommu/internal/pci"
 	"riommu/internal/sim"
 	"riommu/internal/stats"
@@ -27,40 +28,54 @@ type MissPenaltyResult struct {
 // PaperMissPenaltyCycles is the paper's measured IOTLB miss cost.
 const PaperMissPenaltyCycles = 1532.0
 
-// RunMissPenalty performs the §5.3 microbenchmark.
-func RunMissPenalty(q Quality) (MissPenaltyResult, error) {
+// RunMissPenalty performs the §5.3 microbenchmark. Its two halves (baseline
+// IOMMU and rIOMMU) are independent cells with their own simulation worlds
+// and their own xorshift streams, so they parallelize without sharing state.
+func RunMissPenalty(cfg Config) (MissPenaltyResult, error) {
 	var res MissPenaltyResult
 	bdf := pci.NewBDF(0, 3, 0)
 	const poolBuffers = 2048
-	sends := q.scale(4000, 20000)
+	sends := cfg.Quality.scale(4000, 20000)
 
-	lcg := uint64(0x9e3779b97f4a7c15)
-	next := func() uint64 {
-		lcg ^= lcg << 13
-		lcg ^= lcg >> 7
-		lcg ^= lcg << 17
-		return lcg
+	// Each cell owns one xorshift state; the streams must depend only on
+	// the cell, never on which worker ran it.
+	newRand := func() func() uint64 {
+		lcg := uint64(0x9e3779b97f4a7c15)
+		return func() uint64 {
+			lcg ^= lcg << 13
+			lcg ^= lcg >> 7
+			lcg ^= lcg << 17
+			return lcg
+		}
 	}
 
-	// Baseline IOMMU, persistent mappings, polling-mode sends.
-	{
-		sys, err := sim.NewSystem(sim.Strict, workload.MemPages)
-		if err != nil {
-			return res, err
+	type half struct {
+		a, b            float64 // cell-specific measurements
+		penalty, micros float64
+	}
+	runHalf := func(id int) (half, error) {
+		var out half
+		mode, tables := sim.Strict, []uint32{4, 4096, 4096}
+		if id == 1 {
+			mode, tables = sim.RIOMMU, []uint32{4, poolBuffers * 2, poolBuffers * 2}
 		}
-		prot, err := sys.ProtectionFor(bdf, []uint32{4, 4096, 4096})
+		sys, err := sim.NewSystem(mode, workload.MemPages)
 		if err != nil {
-			return res, err
+			return out, err
+		}
+		prot, err := sys.ProtectionFor(bdf, tables)
+		if err != nil {
+			return out, err
 		}
 		iovas := make([]uint64, poolBuffers)
 		for i := range iovas {
 			f, err := sys.Mem.AllocFrame()
 			if err != nil {
-				return res, err
+				return out, err
 			}
 			iovas[i], err = prot.Map(driver.RingTx, f.PA(), 2048, pci.DirToDevice)
 			if err != nil {
-				return res, err
+				return out, err
 			}
 		}
 		buf := make([]byte, 64)
@@ -79,53 +94,53 @@ func RunMissPenalty(q Quality) (MissPenaltyResult, error) {
 			}
 			return float64(sys.Dev.Now()-before) / float64(sends)
 		}
-		res.RandomCycles = measure(func(int) uint64 { return iovas[next()%poolBuffers] })
-		res.SingleCycles = measure(func(int) uint64 { return iovas[0] })
-		res.MissPenaltyCycles = res.RandomCycles - res.SingleCycles
-		res.MissPenaltyMicros = sys.Model.Micros(uint64(res.MissPenaltyCycles))
+		next := newRand()
+		if id == 0 {
+			// Baseline IOMMU, persistent mappings, polling-mode sends:
+			// random buffer from a large pool (always misses) vs a single
+			// buffer (always hits).
+			out.a = measure(func(int) uint64 { return iovas[next()%poolBuffers] })
+			out.b = measure(func(int) uint64 { return iovas[0] })
+			out.penalty = out.a - out.b
+			out.micros = sys.Model.Micros(uint64(out.penalty))
+			return out, nil
+		}
+		// rIOMMU: in-order ring access is always predicted; random access
+		// costs only a flat-table DRAM fetch, far below a radix walk.
+		out.a = measure(func(i int) uint64 { return iovas[i%poolBuffers] })
+		out.b = measure(func(int) uint64 { return iovas[next()%poolBuffers] })
+		return out, nil
 	}
 
-	// rIOMMU: in-order ring access is always predicted; random access costs
-	// only a flat-table DRAM fetch, far below a radix walk.
-	{
-		sys, err := sim.NewSystem(sim.RIOMMU, workload.MemPages)
-		if err != nil {
-			return res, err
-		}
-		prot, err := sys.ProtectionFor(bdf, []uint32{4, poolBuffers * 2, poolBuffers * 2})
-		if err != nil {
-			return res, err
-		}
-		iovas := make([]uint64, poolBuffers)
-		for i := range iovas {
-			f, err := sys.Mem.AllocFrame()
-			if err != nil {
-				return res, err
-			}
-			iovas[i], err = prot.Map(driver.RingTx, f.PA(), 2048, pci.DirToDevice)
-			if err != nil {
-				return res, err
-			}
-		}
-		buf := make([]byte, 64)
-		measure := func(pick func(i int) uint64) float64 {
-			for i := 0; i < 64; i++ {
-				if err := sys.Eng.Read(bdf, pick(i), buf); err != nil {
-					panic(err)
-				}
-			}
-			before := sys.Dev.Now()
-			for i := 0; i < sends; i++ {
-				if err := sys.Eng.Read(bdf, pick(i), buf); err != nil {
-					panic(err)
-				}
-			}
-			return float64(sys.Dev.Now()-before) / float64(sends)
-		}
-		res.RInOrderCycles = measure(func(i int) uint64 { return iovas[i%poolBuffers] })
-		res.RRandomCycles = measure(func(int) uint64 { return iovas[next()%poolBuffers] })
+	halves, err := parallel.Map(cfg.Workers, []int{0, 1}, func(_ int, id int) (half, error) {
+		return runHalf(id)
+	})
+	if err != nil {
+		return res, err
 	}
+	res.RandomCycles = halves[0].a
+	res.SingleCycles = halves[0].b
+	res.MissPenaltyCycles = halves[0].penalty
+	res.MissPenaltyMicros = halves[0].micros
+	res.RInOrderCycles = halves[1].a
+	res.RRandomCycles = halves[1].b
 	return res, nil
+}
+
+// Cells emits the two halves of the microbenchmark.
+func (r MissPenaltyResult) Cells() []Cell {
+	return []Cell{
+		C("misspenalty", "baseline", map[string]float64{
+			"random_cycles":  r.RandomCycles,
+			"single_cycles":  r.SingleCycles,
+			"penalty_cycles": r.MissPenaltyCycles,
+			"penalty_micros": r.MissPenaltyMicros,
+		}),
+		C("misspenalty", "riommu", map[string]float64{
+			"inorder_cycles": r.RInOrderCycles,
+			"random_cycles":  r.RRandomCycles,
+		}),
+	}
 }
 
 // Render prints the comparison.
@@ -147,12 +162,6 @@ func init() {
 		ID:    "misspenalty",
 		Title: "Sec 5.3: IOTLB miss penalty in low-latency environments",
 		Paper: "miss penalty ~0.5 us (1,532 cycles); approximates rIOMMU's benefit for user-level I/O",
-		Run: func(q Quality) (string, error) {
-			r, err := RunMissPenalty(q)
-			if err != nil {
-				return "", err
-			}
-			return r.Render(), nil
-		},
+		Run:   wrap(RunMissPenalty),
 	})
 }

@@ -5,6 +5,7 @@ import (
 
 	"riommu/internal/cycles"
 	"riommu/internal/driver"
+	"riommu/internal/parallel"
 	"riommu/internal/pci"
 	"riommu/internal/perfmodel"
 	"riommu/internal/sim"
@@ -35,8 +36,9 @@ const nvmeDriveKIOPS = 750.0
 // completion, context switching) outside the IOMMU path.
 const nvmeStackCycles = 900
 
-// RunNVMe measures the per-command cost in each mode.
-func RunNVMe(q Quality) (NVMeResult, error) {
+// RunNVMe measures the per-command cost in each mode, one isolated world
+// per mode cell.
+func RunNVMe(cfg Config) (NVMeResult, error) {
 	res := NVMeResult{
 		Modes:       sim.AllModes(),
 		CyclesPerOp: map[sim.Mode]float64{},
@@ -44,21 +46,26 @@ func RunNVMe(q Quality) (NVMeResult, error) {
 		DriveKIOPS:  nvmeDriveKIOPS,
 	}
 	const depth = 32
+	q := cfg.Quality
 	ops := q.scale(1500, 6000)
 	bdf := pci.NewBDF(0, 4, 0)
 
-	for _, m := range res.Modes {
+	type nvmeCell struct {
+		cyclesPerOp, kiops float64
+	}
+	cells, err := parallel.Map(cfg.Workers, res.Modes, func(_ int, m sim.Mode) (nvmeCell, error) {
+		var cell nvmeCell
 		sys, err := sim.NewSystem(m, workload.MemPages)
 		if err != nil {
-			return res, err
+			return cell, err
 		}
 		prot, err := sys.ProtectionFor(bdf, []uint32{4, 4 * depth, 4 * depth})
 		if err != nil {
-			return res, err
+			return cell, err
 		}
 		d, err := driver.NewNVMeDriver(sys.Mem, prot, sys.Eng, bdf, 4096, 1024, 256)
 		if err != nil {
-			return res, err
+			return cell, err
 		}
 		run := func(n int) error {
 			for i := 0; i < n; i += depth {
@@ -75,20 +82,36 @@ func RunNVMe(q Quality) (NVMeResult, error) {
 			return nil
 		}
 		if err := run(q.scale(300, 1000)); err != nil { // warmup
-			return res, err
+			return cell, err
 		}
 		sys.ResetClocks()
 		if err := run(ops); err != nil {
-			return res, err
+			return cell, err
 		}
-		c := float64(sys.CPU.Now()) / float64(ops)
-		res.CyclesPerOp[m] = c
-		res.KIOPS[m] = perfmodel.RatePerSecond(sys.Model, c, nvmeDriveKIOPS*1000) / 1000
-		if err := d.Teardown(); err != nil {
-			return res, err
-		}
+		cell.cyclesPerOp = float64(sys.CPU.Now()) / float64(ops)
+		cell.kiops = perfmodel.RatePerSecond(sys.Model, cell.cyclesPerOp, nvmeDriveKIOPS*1000) / 1000
+		return cell, d.Teardown()
+	})
+	if err != nil {
+		return res, err
+	}
+	for i, m := range res.Modes {
+		res.CyclesPerOp[m] = cells[i].cyclesPerOp
+		res.KIOPS[m] = cells[i].kiops
 	}
 	return res, nil
+}
+
+// Cells emits the per-mode IOPS points.
+func (r NVMeResult) Cells() []Cell {
+	out := make([]Cell, 0, len(r.Modes))
+	for _, m := range r.Modes {
+		out = append(out, C("nvme", m.String(), map[string]float64{
+			"cycles_per_op": r.CyclesPerOp[m],
+			"kiops":         r.KIOPS[m],
+		}))
+	}
+	return out
 }
 
 // Render prints the comparison.
@@ -108,12 +131,6 @@ func init() {
 		ID:    "nvme",
 		Title: "Extension: NVMe SSD IOPS under each protection mode",
 		Paper: "§4 asserts applicability (NVMe queues are consumed in order) without evaluating; this experiment quantifies it",
-		Run: func(q Quality) (string, error) {
-			r, err := RunNVMe(q)
-			if err != nil {
-				return "", err
-			}
-			return r.Render(), nil
-		},
+		Run:   wrap(RunNVMe),
 	})
 }

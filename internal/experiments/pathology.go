@@ -5,6 +5,7 @@ import (
 
 	"riommu/internal/cycles"
 	"riommu/internal/device"
+	"riommu/internal/parallel"
 	"riommu/internal/sim"
 	"riommu/internal/stats"
 	"riommu/internal/workload"
@@ -26,35 +27,57 @@ type PathologyResult struct {
 	ConstAllocCycles float64
 }
 
-// RunPathology sweeps the live-IOVA population.
-func RunPathology(q Quality) (PathologyResult, error) {
+// RunPathology sweeps the live-IOVA population; the sweep points plus the
+// constant-time reference run are one cell grid.
+func RunPathology(cfg Config) (PathologyResult, error) {
 	res := PathologyResult{
 		LiveSets:       []uint32{1024, 2048, 4096, 8192},
 		AvgAllocCycles: map[uint32]float64{},
 		MaxWalkNodes:   map[uint32]uint64{},
 	}
 	opts := workload.StreamOpts{
-		Messages:       q.scale(80, 250),
-		WarmupMessages: q.scale(40, 100),
+		Messages:       cfg.Quality.scale(80, 250),
+		WarmupMessages: cfg.Quality.scale(40, 100),
 	}
-	for _, live := range res.LiveSets {
+	// Cell i < len(LiveSets) is one strict-mode sweep point; the final cell
+	// is the constant-time "+" allocator reference (live set irrelevant).
+	cells := make([]workload.Result, len(res.LiveSets)+1)
+	err := parallel.Run(cfg.Workers, len(cells), func(i int) error {
 		profile := device.ProfileMLX
-		profile.RxEntries = live
-		r, err := workload.NetperfStream(sim.Strict, profile, opts)
-		if err != nil {
-			return res, err
+		mode := sim.Strict
+		if i == len(res.LiveSets) {
+			mode = sim.StrictPlus
+		} else {
+			profile.RxEntries = res.LiveSets[i]
 		}
-		res.AvgAllocCycles[live] = r.Breakdown.Average(cycles.MapIOVAAlloc)
-		res.MaxWalkNodes[live] = r.MaxAllocVisits
-	}
-	// The constant-time allocator for contrast (live set is irrelevant).
-	profile := device.ProfileMLX
-	r, err := workload.NetperfStream(sim.StrictPlus, profile, opts)
+		r, err := workload.NetperfStream(mode, profile, opts)
+		cells[i] = r
+		return err
+	})
 	if err != nil {
 		return res, err
 	}
-	res.ConstAllocCycles = r.Breakdown.Average(cycles.MapIOVAAlloc)
+	for i, live := range res.LiveSets {
+		res.AvgAllocCycles[live] = cells[i].Breakdown.Average(cycles.MapIOVAAlloc)
+		res.MaxWalkNodes[live] = cells[i].MaxAllocVisits
+	}
+	res.ConstAllocCycles = cells[len(res.LiveSets)].Breakdown.Average(cycles.MapIOVAAlloc)
 	return res, nil
+}
+
+// Cells emits the sweep points and the constant-time reference.
+func (r PathologyResult) Cells() []Cell {
+	var out []Cell
+	for _, live := range r.LiveSets {
+		out = append(out, C("pathology", fmt.Sprintf("live=%d", live), map[string]float64{
+			"avg_alloc_cycles": r.AvgAllocCycles[live],
+			"max_walk_nodes":   float64(r.MaxWalkNodes[live]),
+		}))
+	}
+	out = append(out, C("pathology", "const-allocator", map[string]float64{
+		"avg_alloc_cycles": r.ConstAllocCycles,
+	}))
+	return out
 }
 
 // Render prints the sweep.
@@ -75,12 +98,6 @@ func init() {
 		ID:    "pathology",
 		Title: "Sec 3.2: IOVA allocator pathology vs live-set size",
 		Paper: "some allocations are linear in the number of currently allocated IOVAs; the '+' allocator is constant-time",
-		Run: func(q Quality) (string, error) {
-			r, err := RunPathology(q)
-			if err != nil {
-				return "", err
-			}
-			return r.Render(), nil
-		},
+		Run:   wrap(RunPathology),
 	})
 }

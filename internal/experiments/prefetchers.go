@@ -7,6 +7,7 @@ import (
 	"riommu/internal/driver"
 	"riommu/internal/mem"
 	"riommu/internal/netstack"
+	"riommu/internal/parallel"
 	"riommu/internal/pci"
 	"riommu/internal/prefetch"
 	"riommu/internal/sim"
@@ -129,9 +130,27 @@ func CollectTrace(q Quality, profile device.NICProfile) (*trace.Trace, error) {
 	return filtered, nil
 }
 
+// prefetcherNames fixes the evaluation order of the software prefetchers so
+// output never depends on map iteration order.
+var prefetcherNames = []string{"markov", "recency", "distance"}
+
+func newPrefetcher(name string, c prefetch.Config) prefetch.Prefetcher {
+	switch name {
+	case "markov":
+		return prefetch.NewMarkov(c)
+	case "recency":
+		return prefetch.NewRecency(c)
+	default:
+		return prefetch.NewDistance(c)
+	}
+}
+
 // RunPrefetchers performs the §5.4 comparison on a small NIC configuration
 // (ring live-set ~1K pages) so the history sweep brackets the ring size.
-func RunPrefetchers(q Quality) (PrefetchersResult, error) {
+// Its three parts — synthetic-trace sweep, collected-trace evaluation, and
+// the rIOMMU reference run — are independent cells.
+func RunPrefetchers(cfg Config) (PrefetchersResult, error) {
+	q := cfg.Quality
 	profile := device.ProfileBRCM // 1 buffer/packet keeps the trace readable
 	profile.BufferBytes = 4096    // page-sized buffers: no page-sharing artifacts
 	const ringPages = 512
@@ -141,68 +160,98 @@ func RunPrefetchers(q Quality) (PrefetchersResult, error) {
 		CollectedHitRates: map[string]float64{},
 		RingLive:          ringPages * 2,
 	}
-	tr := prefetch.SyntheticRingTrace(pci.NewBDF(0, 3, 0), ringPages, q.scale(4, 10), 2, 10)
-	res.TraceEvents = tr.Len()
-
 	res.Histories = []int{res.RingLive / 4, res.RingLive, res.RingLive * 4, res.RingLive * 16}
-	makers := map[string]func(prefetch.Config) prefetch.Prefetcher{
-		"markov":   func(c prefetch.Config) prefetch.Prefetcher { return prefetch.NewMarkov(c) },
-		"recency":  func(c prefetch.Config) prefetch.Prefetcher { return prefetch.NewRecency(c) },
-		"distance": func(c prefetch.Config) prefetch.Prefetcher { return prefetch.NewDistance(c) },
-	}
 	bigHist := res.Histories[len(res.Histories)-1]
-	for name, mk := range makers {
-		res.HitRates[name] = map[int]float64{}
-		for _, h := range res.Histories {
-			cfg := prefetch.Config{TLBEntries: 64, History: h, RetainInvalidated: true}
-			res.HitRates[name][h] = prefetch.Evaluate(mk(cfg), tr).HitRate()
-		}
-		base := prefetch.Config{TLBEntries: 64, History: bigHist, RetainInvalidated: false}
-		res.BaselineHitRates[name] = prefetch.Evaluate(mk(base), tr).HitRate()
-	}
 
-	// Observation: the same prefetchers on a trace collected from the
-	// simulated netperf run (see the type comment for why it is friendlier
-	// than the paper's traces).
-	collected, err := CollectTrace(q, profile)
-	if err != nil {
-		return res, err
-	}
-	res.CollectedEvents = collected.Len()
-	for name, mk := range makers {
-		cfg := prefetch.Config{TLBEntries: 64, History: bigHist, RetainInvalidated: true}
-		res.CollectedHitRates[name] = prefetch.Evaluate(mk(cfg), collected).HitRate()
-	}
-
-	// Reference: the real rIOMMU running the same workload.
-	{
-		sys, err := sim.NewSystem(sim.RIOMMU, workload.MemPages)
-		if err != nil {
-			return res, err
-		}
-		bdf := pci.NewBDF(0, 3, 0)
-		drv, _, err := sys.AttachNIC(profile, bdf)
-		if err != nil {
-			return res, err
-		}
-		conn := netstack.NewConn(sys.CPU, drv, netstack.DefaultParams(profile))
-		for i := 0; i < q.scale(40, 150); i++ {
-			if err := conn.SendMessage(16 * 1024); err != nil {
-				return res, err
+	// The three parts write disjoint fields of res, so they can run
+	// concurrently without further coordination.
+	parts := []func() error{
+		func() error {
+			tr := prefetch.SyntheticRingTrace(pci.NewBDF(0, 3, 0), ringPages, q.scale(4, 10), 2, 10)
+			res.TraceEvents = tr.Len()
+			for _, name := range prefetcherNames {
+				res.HitRates[name] = map[int]float64{}
+				for _, h := range res.Histories {
+					c := prefetch.Config{TLBEntries: 64, History: h, RetainInvalidated: true}
+					res.HitRates[name][h] = prefetch.Evaluate(newPrefetcher(name, c), tr).HitRate()
+				}
+				base := prefetch.Config{TLBEntries: 64, History: bigHist, RetainInvalidated: false}
+				res.BaselineHitRates[name] = prefetch.Evaluate(newPrefetcher(name, base), tr).HitRate()
 			}
-		}
-		if err := conn.Flush(); err != nil {
-			return res, err
-		}
-		st := sys.RHW.Stats()
-		if st.Translations > 0 {
-			// Sequential translations that could have been predicted: all
-			// but the per-burst leading fetches.
-			res.RIOTLBHitRate = float64(st.PrefetchHits) / float64(st.PrefetchHits+st.TableFetches)
-		}
-		res.RIOTLBEntries = 2 // current + prefetched next, per ring (§5.4)
+			return nil
+		},
+		func() error {
+			// Observation: the same prefetchers on a trace collected from
+			// the simulated netperf run (see the type comment for why it is
+			// friendlier than the paper's traces).
+			collected, err := CollectTrace(q, profile)
+			if err != nil {
+				return err
+			}
+			res.CollectedEvents = collected.Len()
+			for _, name := range prefetcherNames {
+				c := prefetch.Config{TLBEntries: 64, History: bigHist, RetainInvalidated: true}
+				res.CollectedHitRates[name] = prefetch.Evaluate(newPrefetcher(name, c), collected).HitRate()
+			}
+			return nil
+		},
+		func() error {
+			// Reference: the real rIOMMU running the same workload.
+			sys, err := sim.NewSystem(sim.RIOMMU, workload.MemPages)
+			if err != nil {
+				return err
+			}
+			bdf := pci.NewBDF(0, 3, 0)
+			drv, _, err := sys.AttachNIC(profile, bdf)
+			if err != nil {
+				return err
+			}
+			conn := netstack.NewConn(sys.CPU, drv, netstack.DefaultParams(profile))
+			for i := 0; i < q.scale(40, 150); i++ {
+				if err := conn.SendMessage(16 * 1024); err != nil {
+					return err
+				}
+			}
+			if err := conn.Flush(); err != nil {
+				return err
+			}
+			st := sys.RHW.Stats()
+			if st.Translations > 0 {
+				// Sequential translations that could have been predicted:
+				// all but the per-burst leading fetches.
+				res.RIOTLBHitRate = float64(st.PrefetchHits) / float64(st.PrefetchHits+st.TableFetches)
+			}
+			res.RIOTLBEntries = 2 // current + prefetched next, per ring (§5.4)
+			return nil
+		},
 	}
-	return res, nil
+	err := parallel.Run(cfg.Workers, len(parts), func(i int) error { return parts[i]() })
+	return res, err
+}
+
+// Cells emits every hit rate the comparison produced.
+func (r PrefetchersResult) Cells() []Cell {
+	var out []Cell
+	for _, name := range prefetcherNames {
+		for _, h := range r.Histories {
+			out = append(out, C("prefetchers", fmt.Sprintf("synthetic/%s/hist=%d", name, h), map[string]float64{
+				"hit_rate": r.HitRates[name][h],
+			}))
+		}
+		out = append(out, C("prefetchers", "synthetic/"+name+"/baseline", map[string]float64{
+			"hit_rate": r.BaselineHitRates[name],
+		}))
+	}
+	for _, name := range prefetcherNames {
+		out = append(out, C("prefetchers", "collected/"+name, map[string]float64{
+			"hit_rate": r.CollectedHitRates[name],
+		}))
+	}
+	out = append(out, C("prefetchers", "riotlb", map[string]float64{
+		"hit_rate": r.RIOTLBHitRate,
+		"entries":  float64(r.RIOTLBEntries),
+	}))
+	return out
 }
 
 // Render prints the comparison table.
@@ -232,12 +281,6 @@ func init() {
 		ID:    "prefetchers",
 		Title: "Sec 5.4: comparison against Markov/Recency/Distance TLB prefetchers",
 		Paper: "baseline prefetchers ineffective; modified Markov/Recency work only with history > ring; Distance ineffective; rIOTLB needs 2 entries/ring, always correct",
-		Run: func(q Quality) (string, error) {
-			r, err := RunPrefetchers(q)
-			if err != nil {
-				return "", err
-			}
-			return r.Render(), nil
-		},
+		Run:   wrap(RunPrefetchers),
 	})
 }

@@ -5,6 +5,7 @@ import (
 
 	"riommu/internal/cycles"
 	"riommu/internal/device"
+	"riommu/internal/parallel"
 	"riommu/internal/sim"
 	"riommu/internal/stats"
 	"riommu/internal/workload"
@@ -33,8 +34,9 @@ var Table1Paper = map[string]map[sim.Mode]float64{
 }
 
 // RunTable1 measures the map/unmap component breakdown under the Netperf
-// stream workload on the mlx profile, as the paper did (§3.2).
-func RunTable1(q Quality) (Table1Result, error) {
+// stream workload on the mlx profile, as the paper did (§3.2). One cell
+// per baseline mode.
+func RunTable1(cfg Config) (Table1Result, error) {
 	res := Table1Result{
 		Modes:      sim.BaselineModes(),
 		MapAlloc:   map[sim.Mode]float64{},
@@ -49,15 +51,17 @@ func RunTable1(q Quality) (Table1Result, error) {
 		UnmapSum:   map[sim.Mode]float64{},
 	}
 	opts := workload.StreamOpts{
-		Messages:       q.scale(120, 400),
-		WarmupMessages: q.scale(60, 150),
+		Messages:       cfg.Quality.scale(120, 400),
+		WarmupMessages: cfg.Quality.scale(60, 150),
 	}
-	for _, m := range res.Modes {
-		r, err := workload.NetperfStream(m, device.ProfileMLX, opts)
-		if err != nil {
-			return res, err
-		}
-		b := r.Breakdown
+	cells, err := parallel.Map(cfg.Workers, res.Modes, func(_ int, m sim.Mode) (workload.Result, error) {
+		return workload.NetperfStream(m, device.ProfileMLX, opts)
+	})
+	if err != nil {
+		return res, err
+	}
+	for i, m := range res.Modes {
+		b := cells[i].Breakdown
 		res.MapAlloc[m] = b.Average(cycles.MapIOVAAlloc)
 		res.MapPT[m] = b.Average(cycles.MapPageTable)
 		res.MapOther[m] = b.Average(cycles.MapOther)
@@ -71,6 +75,26 @@ func RunTable1(q Quality) (Table1Result, error) {
 			res.UnmapInv[m] + res.UnmapOther[m]
 	}
 	return res, nil
+}
+
+// Cells emits the per-mode component breakdown.
+func (r Table1Result) Cells() []Cell {
+	out := make([]Cell, 0, len(r.Modes))
+	for _, m := range r.Modes {
+		out = append(out, C("table1", m.String(), map[string]float64{
+			"map_iova_alloc": r.MapAlloc[m],
+			"map_page_table": r.MapPT[m],
+			"map_other":      r.MapOther[m],
+			"map_sum":        r.MapSum[m],
+			"unmap_find":     r.UnmapFind[m],
+			"unmap_free":     r.UnmapFree[m],
+			"unmap_pt":       r.UnmapPT[m],
+			"unmap_inv":      r.UnmapInv[m],
+			"unmap_other":    r.UnmapOther[m],
+			"unmap_sum":      r.UnmapSum[m],
+		}))
+	}
+	return out
 }
 
 // Render produces the paper-style table with paper values alongside.
@@ -115,12 +139,6 @@ func init() {
 		ID:    "table1",
 		Title: "Table 1: (un)map cycle breakdown per protection mode",
 		Paper: "strict map dominated by IOVA alloc (3,986 cy); unmap by IOTLB inv (2,127 cy); '+' allocator cuts alloc to ~92 cy; defer cuts inv to 9 cy",
-		Run: func(q Quality) (string, error) {
-			r, err := RunTable1(q)
-			if err != nil {
-				return "", err
-			}
-			return r.Render(), nil
-		},
+		Run:   wrap(RunTable1),
 	})
 }

@@ -28,15 +28,38 @@ type Table2Result struct {
 	Fig Figure12Result
 }
 
-// RunTable2 derives Table 2 from a Figure 12 run.
-func RunTable2(q Quality) (Table2Result, error) {
-	fig, err := RunFigure12(q)
+// RunTable2 derives Table 2 from a Figure 12 run (which fans the benchmark
+// matrix across cfg.Workers).
+func RunTable2(cfg Config) (Table2Result, error) {
+	fig, err := RunFigure12(cfg)
 	return Table2Result{Fig: fig}, err
+}
+
+// Cells emits the normalized ratios for both rIOMMU variants against every
+// baseline mode.
+func (r Table2Result) Cells() []Cell {
+	baselines := []sim.Mode{sim.Strict, sim.StrictPlus, sim.Defer, sim.DeferPlus, sim.None}
+	var out []Cell
+	for _, variant := range []sim.Mode{sim.RIOMMUMinus, sim.RIOMMU} {
+		for _, nic := range r.Fig.NICs {
+			for _, bench := range r.Fig.Benches {
+				key := BenchKey{Bench: bench, NIC: nic.Name}
+				for _, vs := range baselines {
+					id := variant.String() + "/" + nic.Name + "/" + bench + "/vs-" + vs.String()
+					out = append(out, C("table2", id, map[string]float64{
+						"tput_ratio": r.ThroughputRatio(key, variant, vs),
+						"cpu_ratio":  r.CPURatio(key, variant, vs),
+					}))
+				}
+			}
+		}
+	}
+	return out
 }
 
 // ThroughputRatio returns measured riommuVariant/mode throughput.
 func (r Table2Result) ThroughputRatio(key BenchKey, variant, vs sim.Mode) float64 {
-	cells := r.Fig.Cells[key]
+	cells := r.Fig.Matrix[key]
 	if cells[vs].Throughput == 0 {
 		return 0
 	}
@@ -45,7 +68,7 @@ func (r Table2Result) ThroughputRatio(key BenchKey, variant, vs sim.Mode) float6
 
 // CPURatio returns measured riommuVariant/mode CPU consumption.
 func (r Table2Result) CPURatio(key BenchKey, variant, vs sim.Mode) float64 {
-	cells := r.Fig.Cells[key]
+	cells := r.Fig.Matrix[key]
 	if cells[vs].CPU == 0 {
 		return 0
 	}
@@ -92,12 +115,6 @@ func init() {
 		ID:    "table2",
 		Title: "Table 2: normalized rIOMMU performance ratios",
 		Paper: "riommu throughput 2.90-7.56x strict modes, 1.74-3.79x deferred (mlx stream); 0.77-1.00x none; cpu 0.36-1.00x",
-		Run: func(q Quality) (string, error) {
-			r, err := RunTable2(q)
-			if err != nil {
-				return "", err
-			}
-			return r.Render(), nil
-		},
+		Run:   wrap(RunTable2),
 	})
 }

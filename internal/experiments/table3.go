@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"riommu/internal/device"
+	"riommu/internal/parallel"
 	"riommu/internal/sim"
 	"riommu/internal/stats"
 	"riommu/internal/workload"
@@ -27,21 +28,48 @@ type Table3Result struct {
 	RTT   map[string]map[sim.Mode]float64
 }
 
-// RunTable3 measures Netperf RR round-trip times for both NICs.
-func RunTable3(q Quality) (Table3Result, error) {
+// RunTable3 measures Netperf RR round-trip times for both NICs; the
+// nic x mode grid is flattened into cells.
+func RunTable3(cfg Config) (Table3Result, error) {
 	res := Table3Result{Modes: sim.AllModes(), RTT: map[string]map[sim.Mode]float64{}}
-	opts := workload.RROpts{Transactions: q.scale(400, 2000), Warmup: q.scale(100, 300)}
+	opts := workload.RROpts{Transactions: cfg.Quality.scale(400, 2000), Warmup: cfg.Quality.scale(100, 300)}
+	type gridKey struct {
+		nic  device.NICProfile
+		mode sim.Mode
+	}
+	var grid []gridKey
 	for _, nic := range []device.NICProfile{device.ProfileMLX, device.ProfileBRCM} {
-		res.RTT[nic.Name] = map[sim.Mode]float64{}
 		for _, m := range res.Modes {
-			r, err := workload.NetperfRR(m, nic, opts)
-			if err != nil {
-				return res, err
-			}
-			res.RTT[nic.Name][m] = r.LatencyMicros
+			grid = append(grid, gridKey{nic: nic, mode: m})
 		}
 	}
+	cells, err := parallel.Map(cfg.Workers, grid, func(_ int, k gridKey) (float64, error) {
+		r, err := workload.NetperfRR(k.mode, k.nic, opts)
+		return r.LatencyMicros, err
+	})
+	if err != nil {
+		return res, err
+	}
+	for i, k := range grid {
+		if res.RTT[k.nic.Name] == nil {
+			res.RTT[k.nic.Name] = map[sim.Mode]float64{}
+		}
+		res.RTT[k.nic.Name][k.mode] = cells[i]
+	}
 	return res, nil
+}
+
+// Cells emits the per-nic per-mode round-trip times.
+func (r Table3Result) Cells() []Cell {
+	var out []Cell
+	for _, nic := range []string{"mlx", "brcm"} {
+		for _, m := range r.Modes {
+			out = append(out, C("table3", nic+"/"+m.String(), map[string]float64{
+				"rtt_us": r.RTT[nic][m],
+			}))
+		}
+	}
+	return out
 }
 
 // Render prints the paper-style RTT table with paper values alongside.
@@ -64,12 +92,6 @@ func init() {
 		ID:    "table3",
 		Title: "Table 3: Netperf RR round-trip times",
 		Paper: "mlx: 17.3 (strict) .. 13.4 us (none); brcm: 41.9 .. 34.6 us; rIOMMU within 0.5-0.7 us of none",
-		Run: func(q Quality) (string, error) {
-			r, err := RunTable3(q)
-			if err != nil {
-				return "", err
-			}
-			return r.Render(), nil
-		},
+		Run:   wrap(RunTable3),
 	})
 }

@@ -10,7 +10,7 @@ import (
 
 func newInvQ(t *testing.T) (*InvQueue, *iotlb.IOTLB, *mem.PhysMem) {
 	t.Helper()
-	mm := mustMem(t, 64 * mem.PageSize)
+	mm := mustMem(t, 64*mem.PageSize)
 	tlb := iotlb.New(16)
 	q, err := NewInvQueue(mm, tlb)
 	if err != nil {

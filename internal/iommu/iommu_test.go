@@ -13,7 +13,7 @@ var dev = pci.NewBDF(0, 3, 0)
 
 func setup(t *testing.T, tlbCap int) (*IOMMU, *pagetable.Space, *mem.PhysMem, *cycles.Clock) {
 	t.Helper()
-	mm := mustMem(t, 512 * mem.PageSize)
+	mm := mustMem(t, 512*mem.PageSize)
 	clk := &cycles.Clock{}
 	model := cycles.DefaultModel()
 	hier, err := pagetable.NewHierarchy(mm)

@@ -36,7 +36,7 @@ func TestNewTooSmallErrors(t *testing.T) {
 }
 
 func TestAllocFrameZeroesAndExhaustion(t *testing.T) {
-	m := mustMem(t, 4 * PageSize) // frames 1..3 usable
+	m := mustMem(t, 4*PageSize) // frames 1..3 usable
 	seen := map[PFN]bool{}
 	for i := 0; i < 3; i++ {
 		f, err := m.AllocFrame()
@@ -66,7 +66,7 @@ func TestAllocFrameZeroesAndExhaustion(t *testing.T) {
 }
 
 func TestAllocFrameReZeroesRecycled(t *testing.T) {
-	m := mustMem(t, 4 * PageSize)
+	m := mustMem(t, 4*PageSize)
 	f, _ := m.AllocFrame()
 	if err := m.Write(f.PA(), []byte{0xff, 0xff}); err != nil {
 		t.Fatal(err)
@@ -88,7 +88,7 @@ func TestAllocFrameReZeroesRecycled(t *testing.T) {
 }
 
 func TestAllocFramesContiguous(t *testing.T) {
-	m := mustMem(t, 16 * PageSize)
+	m := mustMem(t, 16*PageSize)
 	f, err := m.AllocFrames(4)
 	if err != nil {
 		t.Fatalf("AllocFrames(4): %v", err)
@@ -106,7 +106,7 @@ func TestAllocFramesContiguous(t *testing.T) {
 }
 
 func TestAllocFramesSkipsHoles(t *testing.T) {
-	m := mustMem(t, 8 * PageSize)
+	m := mustMem(t, 8*PageSize)
 	var frames []PFN
 	for i := 0; i < 7; i++ {
 		f, err := m.AllocFrame()
@@ -134,7 +134,7 @@ func TestAllocFramesSkipsHoles(t *testing.T) {
 }
 
 func TestFreeFrameErrors(t *testing.T) {
-	m := mustMem(t, 4 * PageSize)
+	m := mustMem(t, 4*PageSize)
 	if err := m.FreeFrame(0); err == nil {
 		t.Error("freeing reserved frame 0 should fail")
 	}
@@ -154,7 +154,7 @@ func TestFreeFrameErrors(t *testing.T) {
 }
 
 func TestPinning(t *testing.T) {
-	m := mustMem(t, 4 * PageSize)
+	m := mustMem(t, 4*PageSize)
 	f, _ := m.AllocFrame()
 	pa := f.PA() + 100
 
@@ -194,7 +194,7 @@ func TestPinning(t *testing.T) {
 }
 
 func TestReadWriteRoundTrip(t *testing.T) {
-	m := mustMem(t, 4 * PageSize)
+	m := mustMem(t, 4*PageSize)
 	f, _ := m.AllocFrame()
 	pa := f.PA()
 
@@ -221,7 +221,7 @@ func TestReadWriteRoundTrip(t *testing.T) {
 }
 
 func TestTypedAccessors(t *testing.T) {
-	m := mustMem(t, 4 * PageSize)
+	m := mustMem(t, 4*PageSize)
 	f, _ := m.AllocFrame()
 	pa := f.PA()
 
@@ -248,7 +248,7 @@ func TestTypedAccessors(t *testing.T) {
 }
 
 func TestAccessToUnallocatedFails(t *testing.T) {
-	m := mustMem(t, 8 * PageSize)
+	m := mustMem(t, 8*PageSize)
 	// Frame 2 not allocated.
 	if _, err := m.Read(PA(2*PageSize), 4); err == nil {
 		t.Error("read of unallocated frame should fail")
@@ -308,7 +308,7 @@ func TestCachelinesSpanned(t *testing.T) {
 // allocate, and FreeFrames is conserved.
 func TestAllocFreeProperty(t *testing.T) {
 	f := func(ops []bool) bool {
-		m := mustMem(t, 32 * PageSize)
+		m := mustMem(t, 32*PageSize)
 		live := map[PFN]bool{}
 		var order []PFN
 		for _, alloc := range ops {
@@ -343,7 +343,7 @@ func TestAllocFreeProperty(t *testing.T) {
 
 // Property: writes round-trip through reads at arbitrary in-frame offsets.
 func TestWriteReadProperty(t *testing.T) {
-	m := mustMem(t, 8 * PageSize)
+	m := mustMem(t, 8*PageSize)
 	f, _ := m.AllocFrame()
 	base := f.PA()
 	prop := func(off uint16, data []byte) bool {

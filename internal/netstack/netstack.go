@@ -63,6 +63,10 @@ type Conn struct {
 	txSinceReap int
 	txSinceAck  int
 	rxCoalescer *device.Coalescer
+	// scratch is the payload source buffer. It is per-connection (not a
+	// package global) so concurrent experiment cells share no mutable
+	// state — each parallel worker's simulation world is fully isolated.
+	scratch []byte
 
 	// DataPackets counts transmitted data packets (the denominator of C).
 	DataPackets uint64
@@ -79,7 +83,7 @@ func NewConn(clk *cycles.Clock, drv *driver.NICDriver, p Params) *Conn {
 	if reap <= 0 {
 		reap = 1
 	}
-	return &Conn{clk: clk, drv: drv, p: p, rxCoalescer: device.NewCoalescer(reap, 0)}
+	return &Conn{clk: clk, drv: drv, p: p, rxCoalescer: device.NewCoalescer(reap, 0), scratch: make([]byte, 1<<14)}
 }
 
 // Params returns the connection's cost parameters.
@@ -102,11 +106,9 @@ func (c *Conn) SendMessage(size int) error {
 	return nil
 }
 
-var payloadScratch = make([]byte, 1<<14)
-
 func (c *Conn) sendPacket(n int) error {
 	c.clk.Charge(cycles.Stack, c.p.StackCyclesPerPacket)
-	if err := c.drv.Send(payloadScratch[:n]); err != nil {
+	if err := c.drv.Send(c.scratch[:n]); err != nil {
 		return err
 	}
 	c.DataPackets++
@@ -121,7 +123,7 @@ func (c *Conn) sendPacket(n int) error {
 	c.txSinceAck++
 	if c.p.AckEvery > 0 && c.txSinceAck >= c.p.AckEvery {
 		c.txSinceAck = 0
-		if err := c.drv.Deliver(payloadScratch[:c.p.AckBytes]); err != nil {
+		if err := c.drv.Deliver(c.scratch[:c.p.AckBytes]); err != nil {
 			return err
 		}
 		if c.rxCoalescer.Event(c.clk.Now()) {

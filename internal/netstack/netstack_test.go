@@ -14,7 +14,7 @@ import (
 
 func newConn(t *testing.T, p Params) (*Conn, *cycles.Clock, *driver.NICDriver) {
 	t.Helper()
-	mm := mustMem(t, 1 << 14 * mem.PageSize)
+	mm := mustMem(t, 1<<14*mem.PageSize)
 	eng := dma.NewEngine(mm, iommu.Identity{})
 	drv, _, err := driver.NewNICDriver(mm, driver.NoProtection{}, eng, device.ProfileBRCM, pci.NewBDF(0, 3, 0))
 	if err != nil {

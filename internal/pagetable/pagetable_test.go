@@ -13,7 +13,7 @@ import (
 
 func newSpace(t *testing.T, coherent bool) (*Space, *mem.PhysMem, *cycles.Clock) {
 	t.Helper()
-	mm := mustMem(t, 1024 * mem.PageSize)
+	mm := mustMem(t, 1024*mem.PageSize)
 	clk := &cycles.Clock{}
 	model := cycles.DefaultModel()
 	s, err := NewSpace(mm, clk, &model, coherent)
@@ -201,7 +201,7 @@ func TestMapCostCountsOneOperation(t *testing.T) {
 }
 
 func TestDestroyFreesAllFrames(t *testing.T) {
-	mm := mustMem(t, 1024 * mem.PageSize)
+	mm := mustMem(t, 1024*mem.PageSize)
 	clk := &cycles.Clock{}
 	model := cycles.DefaultModel()
 	before := mm.FreeFrames()
@@ -236,7 +236,7 @@ func TestDestroyFreesAllFrames(t *testing.T) {
 func TestShadowConsistencyProperty(t *testing.T) {
 	prop := func(seed int64, nops uint8) bool {
 		rng := rand.New(rand.NewSource(seed))
-		mm := mustMem(t, 2048 * mem.PageSize)
+		mm := mustMem(t, 2048*mem.PageSize)
 		clk := &cycles.Clock{}
 		model := cycles.DefaultModel()
 		s, err := NewSpace(mm, clk, &model, false)
@@ -281,7 +281,7 @@ func TestShadowConsistencyProperty(t *testing.T) {
 }
 
 func TestHierarchyAttachLookup(t *testing.T) {
-	mm := mustMem(t, 1024 * mem.PageSize)
+	mm := mustMem(t, 1024*mem.PageSize)
 	clk := &cycles.Clock{}
 	model := cycles.DefaultModel()
 

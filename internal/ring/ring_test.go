@@ -9,7 +9,7 @@ import (
 
 func newRing(t *testing.T, size uint32) (*Ring, *mem.PhysMem) {
 	t.Helper()
-	mm := mustMem(t, 64 * mem.PageSize)
+	mm := mustMem(t, 64*mem.PageSize)
 	r, err := New(mm, size)
 	if err != nil {
 		t.Fatal(err)
@@ -18,7 +18,7 @@ func newRing(t *testing.T, size uint32) (*Ring, *mem.PhysMem) {
 }
 
 func TestNewValidation(t *testing.T) {
-	mm := mustMem(t, 16 * mem.PageSize)
+	mm := mustMem(t, 16*mem.PageSize)
 	if _, err := New(mm, 1); err == nil {
 		t.Error("size-1 ring should be rejected")
 	}
@@ -35,7 +35,7 @@ func TestNewValidation(t *testing.T) {
 }
 
 func TestMultiPageRing(t *testing.T) {
-	mm := mustMem(t, 64 * mem.PageSize)
+	mm := mustMem(t, 64*mem.PageSize)
 	before := mm.FreeFrames()
 	r, err := New(mm, 1024) // 16 KiB => 4 frames
 	if err != nil {
@@ -162,7 +162,7 @@ func TestEncodeDecodeWords(t *testing.T) {
 // interleavings, including wraparound.
 func TestFIFOProperty(t *testing.T) {
 	prop := func(ops []bool) bool {
-		mm := mustMem(t, 16 * mem.PageSize)
+		mm := mustMem(t, 16*mem.PageSize)
 		r, err := New(mm, 8)
 		if err != nil {
 			return false

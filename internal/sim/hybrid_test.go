@@ -22,7 +22,7 @@ import (
 // the conventional VT-d IOMMU in strict mode. A dma.Router dispatches each
 // device's DMAs to its own unit, and the two coexist without interference.
 func TestHybridMachine(t *testing.T) {
-	mm := mustMem(t, 1 << 14 * mem.PageSize)
+	mm := mustMem(t, 1<<14*mem.PageSize)
 	clk := &cycles.Clock{}
 	model := cycles.DefaultModel()
 
