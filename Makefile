@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 10s
 BENCH_GOLDEN ?= BENCH_golden.json
 
-.PHONY: all build test tier1 vet fmt-check race ci ci-local fuzz fuzz-smoke bench-json bench-check clean
+.PHONY: all build test tier1 vet fmt-check race ci ci-local fuzz fuzz-smoke bench-json bench-check audit clean
 
 all: tier1
 
@@ -32,7 +32,16 @@ race:
 ci: build vet race
 
 # ci-local mirrors every gate of .github/workflows/ci.yml in one invocation.
-ci-local: build vet fmt-check test race fuzz-smoke bench-check
+ci-local: build vet fmt-check test race fuzz-smoke bench-check audit
+
+# audit is the isolation gate: a quick audited chaos campaign (shadow
+# translation oracle + hostile device + circuit breaker) built with the race
+# detector. The command itself exits non-zero if any gap-free mode shows an
+# isolation violation, while the deferred modes' stale windows are required
+# to be visible (auditor liveness).
+audit:
+	$(GO) run -race ./cmd/riommu-faults \
+		-rounds 40 -rates 0 -modes strict,riommu -chaos all > /dev/null
 
 # A short bounded run of the fault-determinism fuzzer (the seed corpus also
 # runs as part of plain `go test`).

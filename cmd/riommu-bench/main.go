@@ -20,11 +20,14 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"riommu/internal/experiments"
@@ -35,7 +38,28 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// notifyInterrupt translates SIGINT/SIGTERM into the worker pool's
+// cooperative cancellation flag: in-flight cells finish, unstarted ones are
+// skipped, and the caller flushes a partial report. The returned stop func
+// detaches the handler (a second signal then kills the process normally).
+func notifyInterrupt() (stop func()) {
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		for range sigc {
+			parallel.Interrupt()
+		}
+	}()
+	return func() {
+		signal.Stop(sigc)
+		close(sigc)
+	}
+}
+
 func run(args []string, stdout, stderr io.Writer) int {
+	parallel.ResetInterrupt()
+	defer notifyInterrupt()()
+
 	fs := flag.NewFlagSet("riommu-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -97,6 +121,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stderr, "riommu-bench: %d experiment(s), %d worker(s), %.1fs\n",
 		len(selected), cfg.Workers, time.Since(start).Seconds())
 
+	if parallel.Interrupted() {
+		return flushPartial(cfg, results, *jsonOut, stderr)
+	}
+
 	// Report every failing experiment, not just the first: a grid error in
 	// cell k must not hide an unrelated error in cell k+1's experiment.
 	failed := 0
@@ -130,4 +158,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "riommu-bench: wrote %s\n", *jsonOut)
 	}
 	return 0
+}
+
+// flushPartial handles an interrupted run: every experiment that completed
+// before the signal is preserved in a report marked "interrupted", and the
+// exit code is the conventional 128+SIGINT.
+func flushPartial(cfg experiments.Config, results []experiments.RunResult, jsonOut string, stderr io.Writer) int {
+	done := 0
+	for _, r := range results {
+		if r.Err == nil {
+			done++
+		} else if !errors.Is(r.Err, parallel.ErrInterrupted) {
+			fmt.Fprintf(stderr, "riommu-bench: %s: %v\n", r.Experiment.ID, r.Err)
+		}
+	}
+	fmt.Fprintf(stderr, "riommu-bench: interrupted — %d of %d experiments completed\n", done, len(results))
+	if jsonOut != "" {
+		rep := experiments.BuildPartialReport(cfg, results)
+		if err := experiments.WriteJSON(jsonOut, rep); err != nil {
+			fmt.Fprintln(stderr, "riommu-bench:", err)
+		} else {
+			fmt.Fprintf(stderr, "riommu-bench: wrote partial report to %s\n", jsonOut)
+		}
+	}
+	return 130
 }

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"riommu/internal/parallel"
+)
+
+// TestInterruptFlushesPartialReport: an interrupt mid-run yields exit 130
+// and a valid partial JSON report marked "interrupted": true containing
+// only the experiments that finished.
+func TestInterruptFlushesPartialReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real experiment prefix; slow under -short")
+	}
+	defer parallel.ResetInterrupt()
+	var out, errb bytes.Buffer
+	rep := filepath.Join(t.TempDir(), "rep.json")
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		parallel.Interrupt()
+	}()
+	code := run([]string{"-quality", "quick", "-parallel", "2", "-json", rep}, &out, &errb)
+	if code != 130 {
+		t.Fatalf("exit %d, want 130\nstderr:\n%s", code, errb.String())
+	}
+	b, err := os.ReadFile(rep)
+	if err != nil {
+		t.Fatalf("partial report not written: %v", err)
+	}
+	var r struct {
+		Interrupted bool `json:"interrupted"`
+		Experiments []struct {
+			ID string `json:"id"`
+		} `json:"experiments"`
+	}
+	if err := json.Unmarshal(b, &r); err != nil {
+		t.Fatalf("partial report is not valid JSON: %v", err)
+	}
+	if !r.Interrupted {
+		t.Error("partial report not marked interrupted")
+	}
+}
+
+// TestListUnaffectedByInterruptPlumbing: the trivial -list path still works
+// with the signal handler installed.
+func TestListUnaffectedByInterruptPlumbing(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d\nstderr:\n%s", code, errb.String())
+	}
+	if out.Len() == 0 {
+		t.Error("-list produced no output")
+	}
+}

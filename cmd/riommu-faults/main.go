@@ -8,7 +8,17 @@
 // Usage:
 //
 //	riommu-faults [-seed N] [-rates r1,r2,...] [-modes m1,m2,...] [-rounds N]
-//	              [-parallel N] [-json FILE]
+//	              [-parallel N] [-json FILE] [-audit] [-chaos s1,s2,...|all]
+//
+// -audit installs the shadow translation oracle in every cell: an
+// independent record of the live mappings that verifies each DMA the
+// devices perform, with zero effect on the measured virtual clocks.
+//
+// -chaos adds hostile-device cells (stale replay, overreach, read-only
+// write, invalidation flood, cascade) across all protection modes including
+// the deferred ones, quarantined by the supervisor's circuit breaker.
+// -chaos implies -audit. After an audited run the isolation gate is
+// enforced: any violation in a gap-free mode fails the command.
 //
 // Every number in the output is a pure function of the flags: each cell's
 // fault engine is seeded from the base seed and the cell's identity, all
@@ -16,6 +26,10 @@
 // is consulted. Two runs with the same flags produce identical bytes for
 // any -parallel value, which makes the campaign diffable across code
 // changes.
+//
+// SIGINT/SIGTERM stop the campaign cooperatively: in-flight cells finish,
+// the partial -json report is flushed with "interrupted": true, and the
+// command exits 130.
 package main
 
 import (
@@ -23,8 +37,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"riommu/internal/campaign"
+	"riommu/internal/chaos"
 	"riommu/internal/parallel"
 )
 
@@ -32,16 +49,39 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// notifyInterrupt translates SIGINT/SIGTERM into the worker pool's
+// cooperative cancellation flag: in-flight cells finish, unstarted ones are
+// skipped, and run flushes a partial report. The returned stop func
+// detaches the handler (a second signal then kills the process normally).
+func notifyInterrupt() (stop func()) {
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		for range sigc {
+			parallel.Interrupt()
+		}
+	}()
+	return func() {
+		signal.Stop(sigc)
+		close(sigc)
+	}
+}
+
 func run(args []string, stdout, stderr io.Writer) int {
+	parallel.ResetInterrupt()
+	defer notifyInterrupt()()
+
 	fs := flag.NewFlagSet("riommu-faults", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		seed    = fs.Uint64("seed", 42, "base campaign seed (same seed => identical output)")
-		rates   = fs.String("rates", "0,0.002,0.01,0.05", "comma-separated per-opportunity fault rates")
-		modes   = fs.String("modes", "strict,strict+,riommu-,riommu", "comma-separated safe modes to sweep")
-		rounds  = fs.Int("rounds", 150, "workload rounds per campaign cell")
-		workers = fs.Int("parallel", 0, "cell-level worker count (0 = GOMAXPROCS, 1 = serial)")
-		jsonOut = fs.String("json", "", "write the machine-readable per-cell report to this file")
+		seed     = fs.Uint64("seed", 42, "base campaign seed (same seed => identical output)")
+		rates    = fs.String("rates", "0,0.002,0.01,0.05", "comma-separated per-opportunity fault rates")
+		modes    = fs.String("modes", "strict,strict+,riommu-,riommu", "comma-separated safe modes to sweep")
+		rounds   = fs.Int("rounds", 150, "workload rounds per campaign cell")
+		workers  = fs.Int("parallel", 0, "cell-level worker count (0 = GOMAXPROCS, 1 = serial)")
+		jsonOut  = fs.String("json", "", "write the machine-readable per-cell report to this file")
+		auditOn  = fs.Bool("audit", false, "install the shadow translation oracle and enforce the isolation gate")
+		chaosArg = fs.String("chaos", "", "comma-separated hostile-device scenarios, or \"all\" (implies -audit)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -57,6 +97,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "riommu-faults:", err)
 		return 2
 	}
+	var scenarios []chaos.Scenario
+	if *chaosArg != "" {
+		scenarios, err = chaos.Parse(*chaosArg)
+		if err != nil {
+			fmt.Fprintln(stderr, "riommu-faults:", err)
+			return 2
+		}
+		*auditOn = true // hostile cells are meaningless without the oracle
+	}
 
 	opts := campaign.Options{
 		Seed:    *seed,
@@ -64,8 +113,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Modes:   ms,
 		Rounds:  *rounds,
 		Workers: parallel.Workers(*workers),
+		Audit:   *auditOn,
+		Chaos:   scenarios,
 	}
 	res, err := campaign.Run(opts)
+	if parallel.Interrupted() {
+		done := 0
+		for i := range res.Keys {
+			if res.Completed[i] {
+				done++
+			}
+		}
+		fmt.Fprintf(stderr, "riommu-faults: interrupted — %d of %d cells completed\n", done, len(res.Keys))
+		if *jsonOut != "" {
+			if werr := campaign.WriteJSON(*jsonOut, campaign.BuildReport(res)); werr != nil {
+				fmt.Fprintln(stderr, "riommu-faults:", werr)
+			} else {
+				fmt.Fprintf(stderr, "riommu-faults: wrote partial report to %s\n", *jsonOut)
+			}
+		}
+		return 130
+	}
 	if err != nil {
 		fmt.Fprintln(stderr, "riommu-faults:", err)
 		return 1
@@ -81,6 +149,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		fmt.Fprintf(stderr, "riommu-faults: wrote %s\n", *jsonOut)
+	}
+
+	if *auditOn {
+		if fails := res.AuditViolationsGate(); len(fails) != 0 {
+			for _, f := range fails {
+				fmt.Fprintln(stderr, "riommu-faults: isolation gate:", f)
+			}
+			fmt.Fprintf(stderr, "riommu-faults: isolation gate failed (%d violation(s))\n", len(fails))
+			return 1
+		}
+		fmt.Fprintln(stderr, "riommu-faults: isolation gate passed")
 	}
 	return 0
 }

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"riommu/internal/parallel"
+)
+
+// TestAuditChaosGatePasses: the -chaos flag (implying -audit) runs hostile
+// cells end to end, reports the chaos table, writes a complete JSON report
+// and passes the isolation gate.
+func TestAuditChaosGatePasses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full chaos campaign is slow under -short")
+	}
+	var out, errb bytes.Buffer
+	rep := filepath.Join(t.TempDir(), "rep.json")
+	code := run([]string{
+		"-rounds", "10", "-rates", "0", "-modes", "strict",
+		"-chaos", "all", "-parallel", "4", "-json", rep,
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d\nstderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "Chaos campaign") {
+		t.Error("chaos table missing from output")
+	}
+	if !strings.Contains(errb.String(), "isolation gate passed") {
+		t.Errorf("gate verdict missing from stderr:\n%s", errb.String())
+	}
+	b, err := os.ReadFile(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r struct {
+		Interrupted bool `json:"interrupted"`
+	}
+	if err := json.Unmarshal(b, &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Interrupted {
+		t.Error("complete run marked interrupted")
+	}
+}
+
+// TestInterruptFlushesPartialReport: an interrupt mid-campaign yields exit
+// 130 and a valid partial JSON report marked "interrupted": true.
+func TestInterruptFlushesPartialReport(t *testing.T) {
+	defer parallel.ResetInterrupt()
+	var out, errb bytes.Buffer
+	rep := filepath.Join(t.TempDir(), "rep.json")
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		parallel.Interrupt()
+	}()
+	code := run([]string{"-rounds", "400", "-parallel", "2", "-json", rep}, &out, &errb)
+	if code != 130 {
+		t.Fatalf("exit %d, want 130\nstderr:\n%s", code, errb.String())
+	}
+	b, err := os.ReadFile(rep)
+	if err != nil {
+		t.Fatalf("partial report not written: %v", err)
+	}
+	var r struct {
+		Interrupted bool `json:"interrupted"`
+	}
+	if err := json.Unmarshal(b, &r); err != nil {
+		t.Fatalf("partial report is not valid JSON: %v", err)
+	}
+	if !r.Interrupted {
+		t.Error("partial report not marked interrupted")
+	}
+}
+
+// TestSignalSetsInterrupt: a real SIGINT delivered to the process trips the
+// worker pool's cooperative cancellation flag.
+func TestSignalSetsInterrupt(t *testing.T) {
+	parallel.ResetInterrupt()
+	stop := notifyInterrupt()
+	defer stop()
+	defer parallel.ResetInterrupt()
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for !parallel.Interrupted() {
+		if time.Now().After(deadline) {
+			t.Fatal("SIGINT never reached the interrupt flag")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestBadChaosFlag: unknown scenarios are a usage error.
+func TestBadChaosFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-chaos", "nonsense"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

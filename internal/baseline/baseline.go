@@ -60,6 +60,14 @@ func (m Mode) Deferred() bool { return m == Defer || m == DeferPlus }
 // the entire IOTLB (§1, §3.2).
 const DeferBatch = 250
 
+// MapObserver mirrors successful map/unmap operations into an external
+// shadow tracker; *audit.Oracle satisfies it. Defined locally so the
+// dependency points from the auditor to the audited.
+type MapObserver interface {
+	OnMap(bdf pci.BDF, iova uint64, pa mem.PA, size uint32, dir pci.Dir)
+	OnUnmap(bdf pci.BDF, iova uint64)
+}
+
 // Driver is the per-device baseline IOMMU OS driver.
 type Driver struct {
 	mode  Mode
@@ -72,6 +80,7 @@ type Driver struct {
 	space *pagetable.Space
 	alloc iova.Allocator
 	invq  *iommu.InvQueue
+	aud   MapObserver
 
 	deferQ     []deferred
 	deferBatch int
@@ -121,6 +130,9 @@ func New(mode Mode, clk *cycles.Clock, model *cycles.Model, mm *mem.PhysMem, hw 
 // SetFaults threads the fault-injection engine into the driver's
 // invalidation queue (dropped/delayed invalidations).
 func (d *Driver) SetFaults(f *faults.Engine) { d.invq.SetFaults(f) }
+
+// SetAudit installs a map/unmap observer (nil disables mirroring).
+func (d *Driver) SetAudit(o MapObserver) { d.aud = o }
 
 // InvQueue exposes the invalidation queue (fault-injection statistics).
 func (d *Driver) InvQueue() *iommu.InvQueue { return d.invq }
@@ -179,7 +191,11 @@ func (d *Driver) Map(_ int, pa mem.PA, size uint32, dir pci.Dir) (uint64, error)
 	}
 	d.clk.Charge(cycles.MapOther, d.model.MapFixed)
 	d.live++
-	return pfn<<mem.PageShift | uint64(pa)&mem.PageMask, nil
+	iovaAddr := pfn<<mem.PageShift | uint64(pa)&mem.PageMask
+	if d.aud != nil {
+		d.aud.OnMap(d.bdf, iovaAddr, pa, size, dir)
+	}
+	return iovaAddr, nil
 }
 
 // Unmap implements Figure 6: remove the translation from the page tables,
@@ -252,6 +268,12 @@ func (d *Driver) Unmap(_ int, iovaAddr uint64, size uint32, _ bool) error {
 		}
 	}
 	d.live--
+	if d.aud != nil {
+		// The mapping is dead from the OS's perspective right here — in the
+		// deferred modes the IOTLB still holds it, which is exactly the
+		// window the auditor measures.
+		d.aud.OnUnmap(d.bdf, iovaAddr)
+	}
 	return nil
 }
 

@@ -17,6 +17,8 @@ import (
 	"strconv"
 	"strings"
 
+	"riommu/internal/audit"
+	"riommu/internal/chaos"
 	"riommu/internal/cycles"
 	"riommu/internal/device"
 	"riommu/internal/driver"
@@ -29,15 +31,22 @@ import (
 )
 
 var (
-	nicBDF  = pci.NewBDF(0, 3, 0)
-	nvmeBDF = pci.NewBDF(0, 4, 0)
-	sataBDF = pci.NewBDF(0, 5, 0)
+	nicBDF   = pci.NewBDF(0, 3, 0)
+	nvmeBDF  = pci.NewBDF(0, 4, 0)
+	sataBDF  = pci.NewBDF(0, 5, 0)
+	churnBDF = pci.NewBDF(0, 6, 0) // inv-flood's map/unmap churn device
 )
 
 // SafeModes are the modes the recovery story covers: the deferred modes
 // trade protection for speed and the pass-through modes have nothing to
 // degrade to, so campaigns stick to gap-free protection (§5.1).
 var SafeModes = []sim.Mode{sim.Strict, sim.StrictPlus, sim.RIOMMUMinus, sim.RIOMMU}
+
+// ChaosModes are the modes the hostile-device cells sweep. Unlike the
+// recovery sweep, the chaos sweep deliberately includes the deferred modes:
+// quantifying their stale-IOTLB window against the violation-free safe modes
+// is the point of the audit.
+var ChaosModes = []sim.Mode{sim.Strict, sim.StrictPlus, sim.Defer, sim.DeferPlus, sim.RIOMMUMinus, sim.RIOMMU}
 
 // ParseModes resolves a comma-separated mode list against SafeModes.
 func ParseModes(s string) ([]sim.Mode, error) {
@@ -84,6 +93,12 @@ type Options struct {
 	// Workers is the cell-level fan-out (see parallel.Workers); 1 runs the
 	// legacy serial path.
 	Workers int
+	// Audit runs every cell with the shadow translation oracle attached
+	// (audit.Oracle is a pure observer, so legacy metrics are unchanged).
+	Audit bool
+	// Chaos appends hostile-device cells: each scenario runs against every
+	// ChaosModes mode. Chaos cells are always audited.
+	Chaos []chaos.Scenario
 }
 
 // Key identifies one campaign cell.
@@ -94,10 +109,15 @@ type Key struct {
 	// Clean marks the fault-free NIC anchor cell that the throughput
 	// degradation column is measured against.
 	Clean bool
+	// Scenario marks a hostile-device chaos cell (empty otherwise).
+	Scenario string
 }
 
 // String is the cell's stable identity; per-cell seeds derive from it.
 func (k Key) String() string {
+	if k.Scenario != "" {
+		return fmt.Sprintf("%s/%s/chaos=%s", k.Device, k.Mode, k.Scenario)
+	}
 	if k.Clean {
 		return k.Device + "/" + k.Mode.String() + "/clean"
 	}
@@ -113,13 +133,37 @@ type CellMetrics struct {
 	Gbps           float64 // NIC cells only
 	// ByClass counts injected faults per fault class (NIC cells only).
 	ByClass map[string]uint64
+
+	// Audit results (cells run with the oracle attached).
+	Audited      bool
+	Checked      uint64 // DMA chunks verified
+	Violations   uint64
+	ByReason     map[string]uint64
+	ViolPerMPkts float64 // violations per million packets (NIC cells)
+
+	// Chaos cells only: hostile-device outcomes and the recovery SLO.
+	Chaos          chaos.Stats
+	Outages        uint64
+	DowntimeCycles uint64
+	MTTRCycles     float64
+	Availability   float64
+	BreakerTrips   uint64
+	Readmissions   uint64
 }
 
 // Result pairs the grid with its measurements, cell i of Keys in Cells[i].
+// Completed[i] is false for cells that never produced metrics (errored or
+// skipped by an interrupt); a nil Completed means every cell finished.
 type Result struct {
-	Opts  Options
-	Keys  []Key
-	Cells []CellMetrics
+	Opts      Options
+	Keys      []Key
+	Cells     []CellMetrics
+	Completed []bool
+}
+
+// done reports whether cell i produced metrics.
+func (r Result) done(i int) bool {
+	return r.Completed == nil || r.Completed[i]
 }
 
 // Grid enumerates the campaign cells in canonical order: per NIC mode a
@@ -140,13 +184,25 @@ func (o Options) Grid() []Key {
 			}
 		}
 	}
+	for _, sc := range o.Chaos {
+		for _, m := range ChaosModes {
+			keys = append(keys, Key{Device: "nic", Mode: m, Scenario: string(sc)})
+		}
+	}
 	return keys
 }
 
 // Run executes the whole grid, fanning cells across opts.Workers workers.
+// On interrupt (parallel.Interrupt) it returns the partial Result — cells
+// that never ran have Completed[i] == false — together with the
+// lowest-index cell error, which is parallel.ErrInterrupted unless an
+// earlier cell failed outright.
 func Run(opts Options) (Result, error) {
 	keys := opts.Grid()
-	cells, err := parallel.Map(opts.Workers, keys, func(_ int, k Key) (CellMetrics, error) {
+	cells := make([]CellMetrics, len(keys))
+	completed := make([]bool, len(keys))
+	err := parallel.Run(opts.Workers, len(keys), func(i int) error {
+		k := keys[i]
 		seed := parallel.CellSeed(opts.Seed, k.String())
 		rate := k.Rate
 		if k.Clean {
@@ -156,26 +212,52 @@ func Run(opts Options) (Result, error) {
 			c   CellMetrics
 			err error
 		)
-		if k.Device == "nic" {
-			c, err = nicCell(k.Mode, seed, rate, opts.Rounds)
-		} else {
-			c, err = blockCell(k.Device, k.Mode, seed, rate, opts.Rounds)
+		switch {
+		case k.Scenario != "":
+			c, err = chaosCell(k.Mode, chaos.Scenario(k.Scenario), seed, opts.Rounds)
+		case k.Device == "nic":
+			c, err = nicCell(k.Mode, seed, rate, opts.Rounds, opts.Audit)
+		default:
+			c, err = blockCell(k.Device, k.Mode, seed, rate, opts.Rounds, opts.Audit)
 		}
 		if err != nil {
-			return c, fmt.Errorf("%s: %w", k, err)
+			return fmt.Errorf("%s: %w", k, err)
 		}
-		return c, nil
+		cells[i] = c
+		completed[i] = true
+		return nil
 	})
-	return Result{Opts: opts, Keys: keys, Cells: cells}, err
+	return Result{Opts: opts, Keys: keys, Cells: cells, Completed: completed}, err
+}
+
+// recordAudit copies the oracle's verdicts into the cell (every reason key
+// is present so report columns are stable).
+func recordAudit(c *CellMetrics, orc *audit.Oracle, pkts uint64) {
+	if orc == nil {
+		return
+	}
+	c.Audited = true
+	c.Checked = orc.Checked
+	c.Violations = orc.Violations
+	c.ByReason = make(map[string]uint64, len(audit.Reasons()))
+	for _, r := range audit.Reasons() {
+		c.ByReason[r] = orc.ByReason[r]
+	}
+	if pkts > 0 {
+		c.ViolPerMPkts = float64(orc.Violations) * 1e6 / float64(pkts)
+	}
 }
 
 // nicCell soaks a supervised NIC under uniform injection at the given rate.
-func nicCell(mode sim.Mode, seed uint64, rate float64, rounds int) (CellMetrics, error) {
+func nicCell(mode sim.Mode, seed uint64, rate float64, rounds int, audited bool) (CellMetrics, error) {
 	sys, err := sim.NewSystem(mode, 1<<15)
 	if err != nil {
 		return CellMetrics{}, err
 	}
 	f := sys.EnableFaults(faults.UniformConfig(seed, rate))
+	if audited {
+		sys.EnableAudit()
+	}
 	drv, nic, err := sys.AttachNIC(device.ProfileBRCM, nicBDF)
 	if err != nil {
 		return CellMetrics{}, err
@@ -217,21 +299,26 @@ func nicCell(mode sim.Mode, seed uint64, rate float64, rounds int) (CellMetrics,
 	for _, cl := range faults.Classes() {
 		c.ByClass[cl.String()] = f.Count(cl)
 	}
-	if pkts := nic.TxPackets + nic.RxPackets; pkts > 0 {
+	pkts := nic.TxPackets + nic.RxPackets
+	if pkts > 0 {
 		c.CyclesPerOp = float64(sys.CPU.Now()) / float64(pkts)
 		c.Gbps = perfmodel.Gbps(sys.Model, c.CyclesPerOp, device.ProfileBRCM.LineRateGbps)
 	}
+	recordAudit(&c, sys.Auditor, pkts)
 	return c, nil
 }
 
 // blockCell runs the same sweep against a block-device driver (NVMe or
 // AHCI/SATA): a supervised write/complete loop under injection.
-func blockCell(dev string, mode sim.Mode, seed uint64, rate float64, rounds int) (CellMetrics, error) {
+func blockCell(dev string, mode sim.Mode, seed uint64, rate float64, rounds int, audited bool) (CellMetrics, error) {
 	sys, err := sim.NewSystem(mode, 1<<14)
 	if err != nil {
 		return CellMetrics{}, err
 	}
 	f := sys.EnableFaults(faults.UniformConfig(seed, rate))
+	if audited {
+		sys.EnableAudit()
+	}
 	payload := make([]byte, 512)
 	for i := range payload {
 		payload[i] = byte(i * 3)
@@ -302,7 +389,192 @@ func blockCell(dev string, mode sim.Mode, seed uint64, rate float64, rounds int)
 	if cmds := target.Progress(); cmds > 0 {
 		c.CyclesPerOp = float64(sys.CPU.Now()) / float64(cmds)
 	}
+	recordAudit(&c, sys.Auditor, target.Progress())
 	return c, nil
+}
+
+// chaosCell drives one hostile-device scenario against a supervised, audited
+// NIC: the legitimate workload runs every round under the circuit breaker,
+// and the hostile device layers its attacks on top. The oracle judges every
+// DMA the protection hardware let through.
+func chaosCell(mode sim.Mode, scenario chaos.Scenario, seed uint64, rounds int) (CellMetrics, error) {
+	sys, err := sim.NewSystem(mode, 1<<15)
+	if err != nil {
+		return CellMetrics{}, err
+	}
+	// Injection stays quiet except in the cascade scenario, which opens a
+	// multi-class fault storm across the middle third of the cell.
+	f := sys.EnableFaults(faults.UniformConfig(seed, 0))
+	orc := sys.EnableAudit()
+	drv, nic, err := sys.AttachNIC(device.ProfileBRCM, nicBDF)
+	if err != nil {
+		return CellMetrics{}, err
+	}
+	sup := sys.Supervise(nicBDF, drv)
+	sup.Breaker = driver.NewBreaker()
+	sup.Isolator = sys.IsolatorFor(nicBDF)
+	host := chaos.NewHostile(sys.Eng, orc, nicBDF)
+
+	// inv-flood churns map/unmap on a second device, hammering the shared
+	// invalidation path while the victim runs its workload.
+	var churn func() error
+	if scenario == chaos.InvFlood {
+		prot, err := sys.ProtectionFor(churnBDF, []uint32{64})
+		if err != nil {
+			return CellMetrics{}, err
+		}
+		frame, err := sys.Mem.AllocFrame()
+		if err != nil {
+			return CellMetrics{}, err
+		}
+		pa := frame.PA()
+		churn = func() error {
+			for i := 0; i < 8; i++ {
+				iova, err := prot.Map(0, pa, 1024, pci.DirBidi)
+				if err != nil {
+					return err
+				}
+				if err := prot.Unmap(0, iova, 1024, true); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+
+	// ro-write needs a live read-only mapping, which only exists between
+	// Send and ReapTx — so that attack runs mid-round.
+	var midTx func()
+	if scenario == chaos.ROWrite {
+		midTx = func() { host.WriteReadOnly(4) }
+	}
+
+	payload := make([]byte, 1024)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	workload := func() error {
+		if err := drv.Send(payload); err != nil {
+			return err
+		}
+		if _, err := drv.PumpTx(2); err != nil {
+			return err
+		}
+		if midTx != nil {
+			midTx()
+		}
+		if _, err := drv.ReapTx(); err != nil {
+			return err
+		}
+		if err := drv.Deliver(payload); err != nil {
+			return err
+		}
+		_, err := drv.ReapRx()
+		return err
+	}
+
+	stormStart, stormEnd := rounds/3, 2*rounds/3
+	for round := 0; round < rounds; round++ {
+		if scenario == chaos.Cascade {
+			if round == stormStart {
+				for _, cl := range faults.Classes() {
+					f.SetRate(cl, 0.002)
+				}
+			} else if round == stormEnd {
+				for _, cl := range faults.Classes() {
+					f.SetRate(cl, 0)
+				}
+			}
+		}
+		// Failed rounds are the subject: the supervisor, breaker, and SLO
+		// ledger record them.
+		_ = sup.Do(workload)
+		switch scenario {
+		case chaos.StaleReplay:
+			host.ReplayRetired(8)
+		case chaos.Overreach:
+			host.OverreachLive(4)
+		case chaos.InvFlood:
+			if err := churn(); err != nil {
+				return CellMetrics{}, fmt.Errorf("inv-flood churn: %w", err)
+			}
+		case chaos.Cascade:
+			host.ReplayRetired(2)
+		}
+		// A failed hang recovery mid-storm is chaos data, not a cell error.
+		_, _ = sup.Watch()
+	}
+
+	c := CellMetrics{
+		Injected:       f.TotalInjected(),
+		Recovery:       sup.Stats,
+		RecoveryCycles: sys.CPU.Total(cycles.Recovery),
+		ByClass:        map[string]uint64{},
+	}
+	for _, cl := range faults.Classes() {
+		c.ByClass[cl.String()] = f.Count(cl)
+	}
+	pkts := nic.TxPackets + nic.RxPackets
+	if pkts > 0 {
+		c.CyclesPerOp = float64(sys.CPU.Now()) / float64(pkts)
+		c.Gbps = perfmodel.Gbps(sys.Model, c.CyclesPerOp, device.ProfileBRCM.LineRateGbps)
+	}
+	recordAudit(&c, orc, pkts)
+	c.Chaos = host.Stats
+	slo := sup.SLO()
+	c.Outages = slo.Outages
+	c.DowntimeCycles = slo.DowntimeCycles
+	c.MTTRCycles = slo.MTTRCycles()
+	c.Availability = slo.Availability(sys.CPU.Now())
+	c.BreakerTrips = sup.Breaker.Trips
+	c.Readmissions = sup.Breaker.Readmissions
+	return c, nil
+}
+
+// AuditViolationsGate checks the isolation claims the audited cells must
+// uphold and returns one failure message per broken expectation:
+//
+//   - gap-free modes (strict, strict+, riommu-, riommu) must be violation-
+//     free in every audited cell that neither injects faults (rate > 0) nor
+//     runs the cascade scenario — injected invalidation-drop/delay errata can
+//     defeat even strict invalidation, which is the erratum's point.
+//   - overreach is gated only for the rIOMMU modes: page-granular baseline
+//     protection cannot contain sub-page overreach (§4), byte-granular rPTEs
+//     must.
+//   - liveness: the deferred modes' stale-replay cells must record stale
+//     violations — zero there means the auditor went blind, not that the
+//     defer window closed.
+func (r Result) AuditViolationsGate() []string {
+	var fails []string
+	deferStaleCells, sawDeferStale := 0, false
+	for i, k := range r.Keys {
+		c := r.Cells[i]
+		if !r.done(i) || !c.Audited {
+			continue
+		}
+		if k.Scenario == string(chaos.Cascade) || k.Rate > 0 {
+			continue
+		}
+		if k.Scenario == string(chaos.StaleReplay) && (k.Mode == sim.Defer || k.Mode == sim.DeferPlus) {
+			deferStaleCells++
+			if c.ByReason[audit.ReasonStale] > 0 {
+				sawDeferStale = true
+			}
+		}
+		if k.Scenario == string(chaos.Overreach) {
+			if (k.Mode == sim.RIOMMU || k.Mode == sim.RIOMMUMinus) && c.Violations != 0 {
+				fails = append(fails, fmt.Sprintf("%s: %d violations — rIOMMU must contain sub-page overreach", k, c.Violations))
+			}
+			continue
+		}
+		if k.Mode.Safe() && c.Violations != 0 {
+			fails = append(fails, fmt.Sprintf("%s: %d isolation violations in a gap-free mode", k, c.Violations))
+		}
+	}
+	if deferStaleCells > 0 && !sawDeferStale {
+		fails = append(fails, "defer stale-replay cells recorded zero stale violations — auditor liveness check failed")
+	}
+	return fails
 }
 
 // Render produces the human-readable campaign tables from a merged result.
@@ -359,5 +631,32 @@ func (r Result) Render() string {
 			c.Recovery.Unrecovered, c.RecoveryCycles, c.CyclesPerOp)
 	}
 	b.WriteString(blkTab.String())
+
+	hasChaos := false
+	for _, k := range r.Keys {
+		if k.Scenario != "" {
+			hasChaos = true
+			break
+		}
+	}
+	if hasChaos {
+		chTab := stats.NewTable(
+			fmt.Sprintf("Chaos campaign — hostile NIC, %d rounds/cell", r.Opts.Rounds),
+			"mode", "scenario", "attempts", "contained", "landed", "viol", "stale", "bounds", "viol/Mpkt", "trips", "readmit", "mttr cyc", "avail")
+		chTab.AlignLeft(0).AlignLeft(1)
+		for i, k := range r.Keys {
+			if k.Scenario == "" {
+				continue
+			}
+			c := r.Cells[i]
+			chTab.Row(k.Mode.String(), k.Scenario, c.Chaos.Attempts, c.Chaos.Contained,
+				c.Chaos.Landed, c.Violations, c.ByReason[audit.ReasonStale],
+				c.ByReason[audit.ReasonBounds], fmt.Sprintf("%.1f", c.ViolPerMPkts),
+				c.BreakerTrips, c.Readmissions, fmt.Sprintf("%.0f", c.MTTRCycles),
+				fmt.Sprintf("%.4f", c.Availability))
+		}
+		b.WriteByte('\n')
+		b.WriteString(chTab.String())
+	}
 	return b.String()
 }

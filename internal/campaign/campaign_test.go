@@ -5,6 +5,8 @@ import (
 	"strings"
 	"testing"
 
+	"riommu/internal/audit"
+	"riommu/internal/chaos"
 	"riommu/internal/sim"
 )
 
@@ -111,6 +113,173 @@ func TestFaultCellsInject(t *testing.T) {
 	}
 }
 
+func chaosOptions(workers int) Options {
+	o := testOptions(workers)
+	o.Audit = true
+	o.Chaos = chaos.Scenarios()
+	return o
+}
+
+// TestChaosSerialParallelEquivalence: the audited chaos campaign — oracle,
+// hostile device, breaker, SLO ledger and all — stays byte-identical across
+// worker counts.
+func TestChaosSerialParallelEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-worker chaos sweep is slow under -short")
+	}
+	run := func(workers int) (string, []byte) {
+		res, err := Run(chaosOptions(workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		j, err := MarshalReport(BuildReport(res))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res.Render(), j
+	}
+	wantText, wantJSON := run(1)
+	if !strings.Contains(wantText, "Chaos campaign") {
+		t.Fatalf("rendered campaign missing chaos table:\n%s", wantText)
+	}
+	for _, workers := range []int{2, 8} {
+		gotText, gotJSON := run(workers)
+		if gotText != wantText {
+			t.Errorf("workers=%d: rendered chaos text differs from serial", workers)
+		}
+		if !bytes.Equal(gotJSON, wantJSON) {
+			t.Errorf("workers=%d: chaos JSON report differs from serial", workers)
+		}
+	}
+}
+
+// TestChaosAsymmetry: the central claim the audit quantifies — under stale
+// replay the deferred modes leak (non-zero, seed-deterministic violation
+// counts) while the gap-free modes stay at exactly zero; sub-page overreach
+// lands under page-granular baseline protection but never under rIOMMU.
+func TestChaosAsymmetry(t *testing.T) {
+	res, err := Run(Options{
+		Seed:    42,
+		Modes:   []sim.Mode{sim.Strict},
+		Rates:   []float64{0},
+		Rounds:  25,
+		Workers: 4,
+		Audit:   true,
+		Chaos:   chaos.Scenarios(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var deferStale uint64
+	for i, k := range res.Keys {
+		c := res.Cells[i]
+		if k.Scenario == "" {
+			continue
+		}
+		// inv-flood pressures the invalidation path with legitimate map/unmap
+		// churn rather than hostile DMAs, so it records no attack attempts.
+		if c.Chaos.Attempts == 0 && k.Scenario != string(chaos.Cascade) && k.Scenario != string(chaos.InvFlood) {
+			t.Errorf("%s: hostile device never attacked", k)
+		}
+		switch k.Scenario {
+		case string(chaos.StaleReplay):
+			if k.Mode == sim.Defer || k.Mode == sim.DeferPlus {
+				deferStale += c.ByReason[audit.ReasonStale]
+				if c.Violations == 0 {
+					t.Errorf("%s: deferred invalidation showed no stale window", k)
+				}
+			} else if k.Mode.Safe() && c.Violations != 0 {
+				t.Errorf("%s: %d violations in a gap-free mode", k, c.Violations)
+			}
+		case string(chaos.Overreach):
+			switch k.Mode {
+			case sim.RIOMMU, sim.RIOMMUMinus:
+				if c.Violations != 0 || c.Chaos.Landed != 0 {
+					t.Errorf("%s: rIOMMU let overreach land (viol=%d landed=%d)", k, c.Violations, c.Chaos.Landed)
+				}
+			case sim.Strict, sim.StrictPlus:
+				if c.ByReason[audit.ReasonBounds] == 0 {
+					t.Errorf("%s: page-granular mode contained sub-page overreach?", k)
+				}
+			}
+		case string(chaos.ROWrite):
+			if k.Mode.Safe() && c.Violations != 0 {
+				t.Errorf("%s: read-only write violated isolation", k)
+			}
+		}
+	}
+	if deferStale == 0 {
+		t.Error("no stale violations across defer stale-replay cells")
+	}
+	if fails := res.AuditViolationsGate(); len(fails) != 0 {
+		t.Errorf("gate failed on a healthy campaign: %v", fails)
+	}
+}
+
+// TestAuditViolationsGateCatches: the gate flags safe-mode violations and a
+// silent (dead) auditor, and ignores cascade/fault-rate cells.
+func TestAuditViolationsGateCatches(t *testing.T) {
+	mk := func(k Key, c CellMetrics) Result {
+		return Result{Keys: []Key{k}, Cells: []CellMetrics{c}}
+	}
+	bad := mk(Key{Device: "nic", Mode: sim.Strict, Scenario: string(chaos.StaleReplay)},
+		CellMetrics{Audited: true, Violations: 3, ByReason: map[string]uint64{audit.ReasonStale: 3}})
+	if fails := bad.AuditViolationsGate(); len(fails) != 1 {
+		t.Errorf("safe-mode violations not flagged: %v", fails)
+	}
+	dead := mk(Key{Device: "nic", Mode: sim.Defer, Scenario: string(chaos.StaleReplay)},
+		CellMetrics{Audited: true, ByReason: map[string]uint64{}})
+	if fails := dead.AuditViolationsGate(); len(fails) != 1 {
+		t.Errorf("dead auditor not flagged: %v", fails)
+	}
+	cascade := mk(Key{Device: "nic", Mode: sim.Strict, Scenario: string(chaos.Cascade)},
+		CellMetrics{Audited: true, Violations: 7})
+	if fails := cascade.AuditViolationsGate(); len(fails) != 0 {
+		t.Errorf("cascade cell wrongly gated: %v", fails)
+	}
+	rated := mk(Key{Device: "nic", Mode: sim.Strict, Rate: 0.01},
+		CellMetrics{Audited: true, Violations: 2})
+	if fails := rated.AuditViolationsGate(); len(fails) != 0 {
+		t.Errorf("fault-injection cell wrongly gated: %v", fails)
+	}
+	overreachBase := mk(Key{Device: "nic", Mode: sim.Strict, Scenario: string(chaos.Overreach)},
+		CellMetrics{Audited: true, Violations: 5, ByReason: map[string]uint64{audit.ReasonBounds: 5}})
+	if fails := overreachBase.AuditViolationsGate(); len(fails) != 0 {
+		t.Errorf("baseline overreach wrongly gated (page granularity cannot contain it): %v", fails)
+	}
+	overreachR := mk(Key{Device: "nic", Mode: sim.RIOMMU, Scenario: string(chaos.Overreach)},
+		CellMetrics{Audited: true, Violations: 1, ByReason: map[string]uint64{audit.ReasonBounds: 1}})
+	if fails := overreachR.AuditViolationsGate(); len(fails) != 1 {
+		t.Errorf("rIOMMU overreach violation not flagged: %v", fails)
+	}
+}
+
+// TestAuditedLegacyMetricsUnchanged: enabling the oracle must not move a
+// single legacy metric — audited campaigns stay comparable to historical
+// unaudited ones.
+func TestAuditedLegacyMetricsUnchanged(t *testing.T) {
+	plain, err := Run(testOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := testOptions(2)
+	opts.Audit = true
+	audited, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range plain.Keys {
+		p, a := plain.Cells[i], audited.Cells[i]
+		if p.Injected != a.Injected || p.CyclesPerOp != a.CyclesPerOp ||
+			p.Gbps != a.Gbps || p.Recovery != a.Recovery || p.RecoveryCycles != a.RecoveryCycles {
+			t.Errorf("%s: legacy metrics moved under audit:\nplain   %+v\naudited %+v", k, p, a)
+		}
+		if !a.Audited || a.Checked == 0 {
+			t.Errorf("%s: audited cell has no audit data", k)
+		}
+	}
+}
+
 func TestParseModes(t *testing.T) {
 	ms, err := ParseModes("strict, riommu")
 	if err != nil {
@@ -140,5 +309,49 @@ func TestParseRates(t *testing.T) {
 	}
 	if _, err := ParseRates("x"); err == nil {
 		t.Error("non-numeric rate accepted")
+	}
+}
+
+// TestPartialReportDropsUnfinishedCells: a Result with unfinished cells
+// (interrupted run) builds a report holding only real measurements, marked
+// interrupted; the gate skips the unfinished cells too.
+func TestPartialReportDropsUnfinishedCells(t *testing.T) {
+	r := Result{
+		Opts: Options{Seed: 7, Rounds: 3},
+		Keys: []Key{
+			{Device: "nic", Mode: sim.Strict, Clean: true},
+			{Device: "nic", Mode: sim.Defer, Scenario: string(chaos.StaleReplay)},
+		},
+		Cells:     []CellMetrics{{CyclesPerOp: 12}, {}},
+		Completed: []bool{true, false},
+	}
+	rep := BuildReport(r)
+	if !rep.Interrupted {
+		t.Error("partial result not marked interrupted")
+	}
+	if len(rep.Cells) != 1 || rep.Cells[0].ID != r.Keys[0].String() {
+		t.Fatalf("report cells = %+v, want only the completed cell", rep.Cells)
+	}
+	b, err := MarshalReport(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"interrupted": true`) {
+		t.Errorf("marshalled report missing interrupted marker:\n%s", b)
+	}
+	// The unfinished defer stale-replay cell must not trip the liveness gate.
+	if fails := r.AuditViolationsGate(); len(fails) != 0 {
+		t.Errorf("gate flagged unfinished cells: %v", fails)
+	}
+
+	// A complete run's report must not mention the field at all (golden
+	// byte-stability).
+	r.Completed = []bool{true, true}
+	full, err := MarshalReport(BuildReport(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(full), "interrupted") {
+		t.Errorf("complete report mentions interrupted:\n%s", full)
 	}
 }

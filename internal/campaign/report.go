@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 
+	"riommu/internal/audit"
 	"riommu/internal/faults"
 )
 
@@ -16,16 +17,26 @@ type ReportCell struct {
 }
 
 // Report is the full machine-readable campaign: every cell in grid order.
+// Interrupted marks a partial report flushed on SIGINT/SIGTERM — only the
+// cells that finished before the interrupt are present. The field is
+// omitted entirely on complete runs so historical reports stay byte-stable.
 type Report struct {
-	Seed   uint64       `json:"seed"`
-	Rounds int          `json:"rounds"`
-	Cells  []ReportCell `json:"cells"`
+	Seed        uint64       `json:"seed"`
+	Rounds      int          `json:"rounds"`
+	Interrupted bool         `json:"interrupted,omitempty"`
+	Cells       []ReportCell `json:"cells"`
 }
 
-// BuildReport flattens a merged Result into the canonical report.
+// BuildReport flattens a merged Result into the canonical report. Cells that
+// never completed (interrupted runs) are dropped and the report is marked
+// Interrupted, so every cell present holds real measurements.
 func BuildReport(r Result) Report {
 	rep := Report{Seed: r.Opts.Seed, Rounds: r.Opts.Rounds}
 	for i, k := range r.Keys {
+		if !r.done(i) {
+			rep.Interrupted = true
+			continue
+		}
 		c := r.Cells[i]
 		m := map[string]float64{
 			"injected":        float64(c.Injected),
@@ -42,6 +53,25 @@ func BuildReport(r Result) Report {
 			for _, cl := range faults.Classes() {
 				m["faults_"+cl.String()] = float64(c.ByClass[cl.String()])
 			}
+		}
+		if c.Audited {
+			m["audit_checked"] = float64(c.Checked)
+			m["audit_violations"] = float64(c.Violations)
+			m["viol_per_mpkts"] = c.ViolPerMPkts
+			for _, reason := range audit.Reasons() {
+				m["viol_"+reason] = float64(c.ByReason[reason])
+			}
+		}
+		if k.Scenario != "" {
+			m["chaos_attempts"] = float64(c.Chaos.Attempts)
+			m["chaos_contained"] = float64(c.Chaos.Contained)
+			m["chaos_landed"] = float64(c.Chaos.Landed)
+			m["outages"] = float64(c.Outages)
+			m["downtime_cycles"] = float64(c.DowntimeCycles)
+			m["mttr_cycles"] = c.MTTRCycles
+			m["availability"] = c.Availability
+			m["breaker_trips"] = float64(c.BreakerTrips)
+			m["readmissions"] = float64(c.Readmissions)
 		}
 		rep.Cells = append(rep.Cells, ReportCell{ID: k.String(), Metrics: m})
 	}

@@ -14,6 +14,15 @@ import (
 // and simply means the caller must slow down (§4, Applicability).
 var ErrOverflow = errors.New("riommu: ring flat table overflow")
 
+// MapObserver mirrors successful map/unmap operations into an external
+// shadow tracker; *audit.Oracle satisfies it. The driver defines the
+// interface locally so the dependency points from the auditor to the
+// audited.
+type MapObserver interface {
+	OnMap(bdf pci.BDF, iova uint64, pa mem.PA, size uint32, dir pci.Dir)
+	OnUnmap(bdf pci.BDF, iova uint64)
+}
+
 // Driver is the rIOMMU OS driver of Figure 11, bound to one rDEVICE. Its
 // map allocates an IOVA by incrementing two integers, writes one rPTE, and
 // publishes it with sync_mem; its unmap clears the valid bit and issues an
@@ -25,6 +34,7 @@ type Driver struct {
 	mm    *mem.PhysMem
 	hw    *RIOMMU
 	dev   *Device
+	aud   MapObserver
 
 	// coherent selects the riommu variant: true = riommu (I/O page walks
 	// coherent with CPU caches), false = riommu− (sync_mem adds a cacheline
@@ -45,6 +55,9 @@ func NewDriver(clk *cycles.Clock, model *cycles.Model, mm *mem.PhysMem, hw *RIOM
 
 // Device returns the attached rDEVICE.
 func (d *Driver) Device() *Device { return d.dev }
+
+// SetAudit installs a map/unmap observer (nil disables mirroring).
+func (d *Driver) SetAudit(o MapObserver) { d.aud = o }
 
 // Coherent reports whether this is the riommu (true) or riommu− (false) variant.
 func (d *Driver) Coherent() bool { return d.coherent }
@@ -113,7 +126,11 @@ func (d *Driver) Map(rid int, pa mem.PA, size uint32, dir pci.Dir) (uint64, erro
 	d.syncMem(cycles.MapPageTable)
 	d.clk.Charge(cycles.MapOther, d.model.RMapFixed)
 
-	return uint64(PackIOVA(0, t, uint16(rid))), nil
+	iova := uint64(PackIOVA(0, t, uint16(rid)))
+	if d.aud != nil {
+		d.aud.OnMap(d.dev.bdf, iova, pa, size, dir)
+	}
+	return iova, nil
 }
 
 // MapAt maps a buffer into an explicit flat-table entry instead of the ring
@@ -154,7 +171,11 @@ func (d *Driver) MapAt(rid int, rentry uint32, pa mem.PA, size uint32, dir pci.D
 	d.clk.Charge(cycles.MapPageTable, d.model.RPTEWrite)
 	d.syncMem(cycles.MapPageTable)
 	d.clk.Charge(cycles.MapOther, d.model.RMapFixed)
-	return uint64(PackIOVA(0, rentry, uint16(rid))), nil
+	iova := uint64(PackIOVA(0, rentry, uint16(rid)))
+	if d.aud != nil {
+		d.aud.OnMap(d.dev.bdf, iova, pa, size, dir)
+	}
+	return iova, nil
 }
 
 // Unmap implements unmap (Figure 11 right): clear the rPTE's valid bit,
@@ -196,6 +217,11 @@ func (d *Driver) Unmap(_ int, iovaAddr uint64, _ uint32, endOfBurst bool) error 
 	if endOfBurst {
 		d.hw.invalidate(d.dev.bdf, rid)
 		d.clk.Charge(cycles.UnmapIOTLBInv, d.model.IOTLBInvEntry)
+	}
+	if d.aud != nil {
+		// Mirror with the base rIOVA the matching Map returned, regardless of
+		// any offset in the caller's handle.
+		d.aud.OnUnmap(d.dev.bdf, uint64(PackIOVA(0, iova.REntry(), rid)))
 	}
 	return nil
 }

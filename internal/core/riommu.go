@@ -132,6 +132,7 @@ type RIOMMU struct {
 	devices map[pci.BDF]*Device
 	tlb     map[tlbKey]*tlbEntry
 	stats   Stats
+	aud     InvObserver
 
 	// DisablePrefetch turns off the speculative next-rPTE load. The design
 	// does not depend on it (§4: "works just as well without it" for
@@ -362,9 +363,21 @@ func (u *RIOMMU) Translate(bdf pci.BDF, iovaAddr uint64, size uint32, dir pci.Di
 	return pa, nil
 }
 
+// InvObserver mirrors hardware invalidations into an external shadow
+// tracker; *audit.Oracle satisfies it.
+type InvObserver interface {
+	OnInvalidate(bdf pci.BDF, token uint64)
+}
+
+// SetAudit installs an invalidation observer (nil disables mirroring).
+func (u *RIOMMU) SetAudit(o InvObserver) { u.aud = o }
+
 // invalidate drops the ring's single rIOTLB entry (the end-of-burst
 // operation issued by the OS driver's unmap).
 func (u *RIOMMU) invalidate(bdf pci.BDF, rid uint16) {
 	delete(u.tlb, tlbKey{bdf: bdf, rid: rid})
 	u.stats.Invalidations++
+	if u.aud != nil {
+		u.aud.OnInvalidate(bdf, uint64(rid))
+	}
 }

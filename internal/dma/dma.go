@@ -45,6 +45,17 @@ func (r *Router) Route(bdf pci.BDF, tr Translator) { r.routes[bdf] = tr }
 // SetDefault installs the unit used by devices with no explicit route.
 func (r *Router) SetDefault(tr Translator) { r.def = tr }
 
+// RouteOf returns the device's explicit route, if any (quarantine code saves
+// it before splicing in a Blackhole so re-admission can restore it).
+func (r *Router) RouteOf(bdf pci.BDF) (Translator, bool) {
+	tr, ok := r.routes[bdf]
+	return tr, ok
+}
+
+// Unroute removes a device's explicit route; its DMAs fall back to the
+// default unit (or fault if none is installed).
+func (r *Router) Unroute(bdf pci.BDF) { delete(r.routes, bdf) }
+
 // Translate dispatches to the device's unit.
 func (r *Router) Translate(bdf pci.BDF, iova uint64, size uint32, dir pci.Dir) (mem.PA, error) {
 	tr, ok := r.routes[bdf]
@@ -57,11 +68,30 @@ func (r *Router) Translate(bdf pci.BDF, iova uint64, size uint32, dir pci.Dir) (
 	return tr.Translate(bdf, iova, size, dir)
 }
 
+// Blackhole is the quarantine translator: every access faults. The
+// supervisor's circuit breaker routes a repeatedly-failing device here
+// (detach → isolate) until a probe re-admits it.
+type Blackhole struct{}
+
+// Translate always rejects the access.
+func (Blackhole) Translate(bdf pci.BDF, iova uint64, size uint32, dir pci.Dir) (mem.PA, error) {
+	return 0, fmt.Errorf("dma: device %s quarantined", bdf)
+}
+
+// Auditor observes every successfully translated DMA chunk before the
+// memory access happens; *audit.Oracle satisfies it. The engine defines the
+// interface (rather than importing the audit package) so the dependency
+// points from the auditor to the audited.
+type Auditor interface {
+	VerifyDMA(bdf pci.BDF, iova uint64, pa mem.PA, size uint32, dir pci.Dir)
+}
+
 // Engine performs device-initiated memory accesses through a Translator.
 type Engine struct {
 	mm  *mem.PhysMem
 	tr  Translator
 	inj *faults.Engine
+	aud Auditor
 
 	// Reads/Writes/Bytes count completed DMA operations for statistics.
 	Reads, Writes, Bytes uint64
@@ -86,6 +116,11 @@ func (e *Engine) SetFaults(f *faults.Engine) { e.inj = f }
 // Faults returns the fault-injection engine (nil when disabled; all its
 // methods are nil-safe).
 func (e *Engine) Faults() *faults.Engine { return e.inj }
+
+// SetAudit installs the isolation auditor: every chunk the translator
+// accepts is reported before the memory access. Accesses the translator
+// rejects never reach the auditor — containment worked.
+func (e *Engine) SetAudit(a Auditor) { e.aud = a }
 
 // chunks invokes f once per maximal sub-access that does not cross a 4 KiB
 // IOVA boundary. off is the cursor into the caller's buffer.
@@ -117,6 +152,9 @@ func (e *Engine) Read(bdf pci.BDF, iova uint64, buf []byte) error {
 		if err != nil {
 			return err
 		}
+		if e.aud != nil {
+			e.aud.VerifyDMA(bdf, iova, pa, uint32(n), pci.DirToDevice)
+		}
 		return e.mm.ReadInto(pa, buf[off:off+n])
 	})
 	if err != nil {
@@ -138,6 +176,9 @@ func (e *Engine) Write(bdf pci.BDF, iova uint64, data []byte) error {
 		pa, err := e.tr.Translate(bdf, iova, uint32(n), pci.DirFromDevice)
 		if err != nil {
 			return err
+		}
+		if e.aud != nil {
+			e.aud.VerifyDMA(bdf, iova, pa, uint32(n), pci.DirFromDevice)
 		}
 		return e.mm.Write(pa, data[off:off+n])
 	})

@@ -1,0 +1,165 @@
+package driver
+
+// Circuit breaking for repeatedly-failing devices. PR 1's supervisor handles
+// individual faults (retry, reset, degrade); the breaker handles the device
+// that keeps failing anyway: after TripAfter consecutive failures or a blown
+// error budget it opens, the device is detached from its translation unit
+// (Isolator → dma.Router Blackhole route), and every operation fast-fails
+// with ErrQuarantined until a virtual-clock backoff expires. The first
+// operation after that is a probe: the device is tentatively re-admitted
+// (half-open); success closes the breaker, failure re-isolates it with a
+// doubled backoff, capped at MaxBackoffCycles. All timing is virtual-clock,
+// so campaign quarantine windows are seed-deterministic.
+
+// BreakerState is the classic three-state circuit-breaker machine.
+type BreakerState uint8
+
+// The breaker states.
+const (
+	BreakerClosed   BreakerState = iota // normal operation
+	BreakerOpen                         // quarantined: operations fast-fail
+	BreakerHalfOpen                     // backoff expired: one probe in flight
+)
+
+// String names the state for reports.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "invalid"
+	}
+}
+
+// Isolator detaches a device from (and re-admits it to) its DMA translation
+// path; sim.System.IsolatorFor builds one over dma.Router.
+type Isolator interface {
+	Isolate() error
+	Readmit() error
+}
+
+// Breaker is a per-device circuit breaker on virtual time. The zero value is
+// unusable; NewBreaker supplies the defaults. A Supervisor with a nil
+// Breaker never trips (the PR 1 behavior).
+type Breaker struct {
+	// TripAfter opens the breaker after this many consecutive failures
+	// (0 disables the consecutive trigger).
+	TripAfter uint64
+	// Budget opens the breaker when more than Budget failures accumulate
+	// within a BudgetWindowCycles window (0 disables the budget trigger).
+	Budget             uint64
+	BudgetWindowCycles uint64
+
+	// BackoffCycles is the first quarantine length; each failed probe
+	// doubles it up to MaxBackoffCycles.
+	BackoffCycles    uint64
+	MaxBackoffCycles uint64
+	// RejectCycles is charged per fast-failed operation while open (the cost
+	// of bouncing off the quarantine check).
+	RejectCycles uint64
+
+	state    BreakerState
+	consec   uint64 // consecutive failures while closed
+	winStart uint64 // error-budget window start (virtual cycles)
+	winFails uint64
+	backoff  uint64 // current quarantine length
+	reopenAt uint64 // virtual time the quarantine expires
+
+	// Trips counts closed→open transitions, Probes open→half-open,
+	// Readmissions half-open→closed.
+	Trips, Probes, Readmissions uint64
+}
+
+// NewBreaker returns a breaker with campaign-scale defaults: trip on 4
+// consecutive failures or >16 failures per 5M-cycle window, quarantine for
+// 100k cycles doubling to 1.6M.
+func NewBreaker() *Breaker {
+	return &Breaker{
+		TripAfter:          4,
+		Budget:             16,
+		BudgetWindowCycles: 5_000_000,
+		BackoffCycles:      100_000,
+		MaxBackoffCycles:   1_600_000,
+		RejectCycles:       100,
+	}
+}
+
+// State returns the current breaker state.
+func (b *Breaker) State() BreakerState { return b.state }
+
+// Quarantined reports whether an operation at virtual time now would be
+// rejected (open, backoff not yet expired).
+func (b *Breaker) Quarantined(now uint64) bool {
+	return b.state == BreakerOpen && now < b.reopenAt
+}
+
+// Allow decides whether an operation may proceed at virtual time now. While
+// open it transitions to half-open (a probe) once the backoff expires; the
+// caller is responsible for re-admitting the device before probing.
+func (b *Breaker) Allow(now uint64) bool {
+	switch b.state {
+	case BreakerOpen:
+		if now < b.reopenAt {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.Probes++
+		return true
+	default:
+		return true
+	}
+}
+
+// OnSuccess records a successful operation. It reports whether this was a
+// successful probe (half-open → closed), i.e. the device earned its way back.
+func (b *Breaker) OnSuccess(uint64) bool {
+	b.consec = 0
+	if b.state == BreakerHalfOpen {
+		b.state = BreakerClosed
+		b.backoff = b.BackoffCycles
+		b.Readmissions++
+		return true
+	}
+	return false
+}
+
+// OnFailure records a failed operation at virtual time now. It reports
+// whether the caller must (re-)isolate the device: either the breaker just
+// tripped (closed → open) or a probe failed and quarantine resumes with a
+// doubled backoff (half-open → open).
+func (b *Breaker) OnFailure(now uint64) bool {
+	if b.BudgetWindowCycles > 0 && now-b.winStart > b.BudgetWindowCycles {
+		b.winStart = now
+		b.winFails = 0
+	}
+	b.winFails++
+	b.consec++
+	switch b.state {
+	case BreakerHalfOpen:
+		// Failed probe: back to quarantine, longer this time.
+		b.backoff *= 2
+		if b.MaxBackoffCycles > 0 && b.backoff > b.MaxBackoffCycles {
+			b.backoff = b.MaxBackoffCycles
+		}
+		b.state = BreakerOpen
+		b.reopenAt = now + b.backoff
+		return true
+	case BreakerClosed:
+		tripped := (b.TripAfter > 0 && b.consec >= b.TripAfter) ||
+			(b.Budget > 0 && b.winFails > b.Budget)
+		if tripped {
+			if b.backoff == 0 {
+				b.backoff = b.BackoffCycles
+			}
+			b.state = BreakerOpen
+			b.reopenAt = now + b.backoff
+			b.Trips++
+			return true
+		}
+	}
+	return false
+}

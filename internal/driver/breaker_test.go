@@ -1,0 +1,330 @@
+package driver
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"riommu/internal/cycles"
+)
+
+// fakeIsolator records quarantine transitions.
+type fakeIsolator struct {
+	isolated               bool
+	isolates, readmits     int
+	isolateErr, readmitErr error
+}
+
+func (f *fakeIsolator) Isolate() error {
+	f.isolates++
+	if f.isolateErr != nil {
+		return f.isolateErr
+	}
+	f.isolated = true
+	return nil
+}
+
+func (f *fakeIsolator) Readmit() error {
+	f.readmits++
+	if f.readmitErr != nil {
+		return f.readmitErr
+	}
+	f.isolated = false
+	return nil
+}
+
+func newBreakerSup(fd *fakeDriver) (*Supervisor, *fakeIsolator, *cycles.Clock) {
+	clk := &cycles.Clock{}
+	s := NewSupervisor(clk, supBDF, fd)
+	s.Breaker = NewBreaker()
+	iso := &fakeIsolator{}
+	s.Isolator = iso
+	return s, iso, clk
+}
+
+func failOp() error { return fmt.Errorf("device fault") }
+
+// TestSentinelErrors: every recovery outcome is distinguishable with
+// errors.Is — the point of the exported sentinels.
+func TestSentinelErrors(t *testing.T) {
+	clk := &cycles.Clock{}
+	fd := &fakeDriver{}
+	s := NewSupervisor(clk, supBDF, fd)
+
+	err := s.Do(failOp)
+	if !errors.Is(err, ErrRetriesExhausted) {
+		t.Errorf("exhausted retries not wrapped in ErrRetriesExhausted: %v", err)
+	}
+
+	// Watchdog hang whose recovery fails.
+	fd.recoverErr = fmt.Errorf("reset register stuck")
+	s.Watch() // prime
+	if _, werr := s.Watch(); !errors.Is(werr, ErrWatchdogHang) {
+		t.Errorf("failed hang recovery not wrapped in ErrWatchdogHang: %v", werr)
+	}
+	fd.recoverErr = nil
+
+	// Degradation failure.
+	s2 := NewSupervisor(clk, supBDF, fd)
+	s2.DegradeAfter = 1
+	s2.DegradeFn = func() error { return fmt.Errorf("no fallback unit") }
+	fails := 1
+	err = s2.Do(func() error {
+		if fails > 0 {
+			fails--
+			return fmt.Errorf("once")
+		}
+		return nil
+	})
+	if !errors.Is(err, ErrDegraded) {
+		t.Errorf("degradation failure not wrapped in ErrDegraded: %v", err)
+	}
+}
+
+// TestRetryBackoffCeilingSaturates: with many attempts the doubling backoff
+// must clamp at MaxBackoffCycles instead of growing geometrically.
+func TestRetryBackoffCeilingSaturates(t *testing.T) {
+	clk := &cycles.Clock{}
+	fd := &fakeDriver{}
+	s := NewSupervisor(clk, supBDF, fd)
+	s.Policy = RetryPolicy{MaxAttempts: 6, BackoffCycles: 1_000, MaxBackoffCycles: 2_000}
+	err := s.Do(failOp)
+	if !errors.Is(err, ErrRetriesExhausted) {
+		t.Fatalf("want exhaustion, got %v", err)
+	}
+	// Backoffs charged: 1000, 2000, then clamped at 2000 for the rest.
+	wantBackoff := uint64(1_000 + 2_000 + 2_000 + 2_000 + 2_000)
+	got := clk.Total(cycles.Recovery) - 5*s.ResetCycles // 5 reinits between 6 attempts
+	if got != wantBackoff {
+		t.Errorf("backoff cycles = %d, want %d (ceiling not applied)", got, wantBackoff)
+	}
+
+	// Unbounded policy (ceiling 0) keeps doubling.
+	clk2 := &cycles.Clock{}
+	s2 := NewSupervisor(clk2, supBDF, &fakeDriver{})
+	s2.Policy = RetryPolicy{MaxAttempts: 4, BackoffCycles: 1_000}
+	_ = s2.Do(failOp)
+	want2 := uint64(1_000+2_000+4_000) + 3*s2.ResetCycles
+	if got2 := clk2.Total(cycles.Recovery); got2 != want2 {
+		t.Errorf("unbounded backoff cycles = %d, want %d", got2, want2)
+	}
+}
+
+// TestWatchdogReprimesAfterReset: a supervisor-level regression check on top
+// of the unit test — after a handled hang the next Watch must prime, not
+// fire, even when the recovered driver's progress counter moved backwards.
+func TestWatchdogReprimesAfterReset(t *testing.T) {
+	clk := &cycles.Clock{}
+	fd := &fakeDriver{progress: 100}
+	s := NewSupervisor(clk, supBDF, fd)
+	s.Watch() // prime at 100
+	if fired, err := s.Watch(); !fired || err != nil {
+		t.Fatalf("hang not handled: fired=%v err=%v", fired, err)
+	}
+	// Recover reset the device: progress restarts from zero and then stalls
+	// there for one check — the re-primed watchdog must treat the first
+	// post-reset check as priming, not as "no progress since 100".
+	fd.progress = 0
+	if fired, _ := s.Watch(); fired {
+		t.Error("watch fired on the priming check after reset")
+	}
+	if fired, _ := s.Watch(); !fired {
+		t.Error("genuine post-reset stall not detected")
+	}
+}
+
+// TestOpsWhileDegraded: after degradation the supervisor keeps operating,
+// never re-degrades, and failures keep being retried normally.
+func TestOpsWhileDegraded(t *testing.T) {
+	clk := &cycles.Clock{}
+	fd := &fakeDriver{}
+	s := NewSupervisor(clk, supBDF, fd)
+	s.DegradeAfter = 1
+	degrades := 0
+	s.DegradeFn = func() error { degrades++; return nil }
+
+	for round := 0; round < 5; round++ {
+		fails := 1
+		if err := s.Do(func() error {
+			if fails > 0 {
+				fails--
+				return fmt.Errorf("round %d", round)
+			}
+			return nil
+		}); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	if degrades != 1 || s.Stats.Degradations != 1 {
+		t.Errorf("degraded %d times (stats %d), want exactly 1", degrades, s.Stats.Degradations)
+	}
+	if !s.Degraded() {
+		t.Error("Degraded() false after degradation")
+	}
+	if s.Stats.Recoveries != 5 {
+		t.Errorf("Recoveries = %d, want 5 (ops after degradation still recover)", s.Stats.Recoveries)
+	}
+}
+
+// TestBreakerTripsAndQuarantines: repeated failures trip the breaker, the
+// device is isolated, and subsequent ops fast-fail with ErrQuarantined
+// without invoking the operation at all — never looping over reinit.
+func TestBreakerTripsAndQuarantines(t *testing.T) {
+	fd := &fakeDriver{}
+	s, iso, _ := newBreakerSup(fd)
+
+	for i := uint64(0); i < s.Breaker.TripAfter; i++ {
+		if err := s.Do(failOp); errors.Is(err, ErrQuarantined) {
+			t.Fatalf("quarantined after only %d failures", i)
+		}
+	}
+	if s.Breaker.State() != BreakerOpen || s.Breaker.Trips != 1 {
+		t.Fatalf("breaker state %s trips %d, want open/1", s.Breaker.State(), s.Breaker.Trips)
+	}
+	if !iso.isolated || iso.isolates != 1 {
+		t.Fatalf("device not isolated exactly once: %+v", iso)
+	}
+
+	ran := false
+	err := s.Do(func() error { ran = true; return nil })
+	if !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("op while quarantined: %v", err)
+	}
+	if ran {
+		t.Error("quarantined op still executed")
+	}
+	if s.Stats.Rejected == 0 {
+		t.Error("rejected op not counted")
+	}
+}
+
+// TestBreakerProbeReadmission: once the virtual-clock backoff expires the
+// next op re-admits the device and probes it; success closes the breaker.
+func TestBreakerProbeReadmission(t *testing.T) {
+	fd := &fakeDriver{}
+	s, iso, clk := newBreakerSup(fd)
+	for i := uint64(0); i < s.Breaker.TripAfter; i++ {
+		_ = s.Do(failOp)
+	}
+	if s.Breaker.State() != BreakerOpen {
+		t.Fatal("breaker did not open")
+	}
+	// Let the quarantine expire on the virtual clock.
+	clk.Charge(cycles.Recovery, s.Breaker.BackoffCycles)
+	if err := s.Do(func() error { return nil }); err != nil {
+		t.Fatalf("probe failed: %v", err)
+	}
+	if s.Breaker.State() != BreakerClosed || s.Breaker.Readmissions != 1 || s.Breaker.Probes != 1 {
+		t.Errorf("state %s readmissions %d probes %d, want closed/1/1",
+			s.Breaker.State(), s.Breaker.Readmissions, s.Breaker.Probes)
+	}
+	if iso.isolated || iso.readmits != 1 {
+		t.Errorf("device not re-admitted exactly once: %+v", iso)
+	}
+}
+
+// TestBreakerFailedProbeDoublesBackoff: a failing probe re-isolates the
+// device and the quarantine doubles, saturating at MaxBackoffCycles.
+func TestBreakerFailedProbeDoublesBackoff(t *testing.T) {
+	fd := &fakeDriver{}
+	s, iso, clk := newBreakerSup(fd)
+	s.Breaker.MaxBackoffCycles = 4 * s.Breaker.BackoffCycles
+	for i := uint64(0); i < s.Breaker.TripAfter; i++ {
+		_ = s.Do(failOp)
+	}
+	base := s.Breaker.BackoffCycles
+	wantBackoffs := []uint64{2 * base, 4 * base, 4 * base} // doubling then clamped
+	for i, want := range wantBackoffs {
+		clk.Charge(cycles.Recovery, s.Breaker.MaxBackoffCycles) // expire any backoff
+		if err := s.Do(failOp); errors.Is(err, ErrQuarantined) {
+			t.Fatalf("probe %d rejected instead of attempted", i)
+		}
+		if s.Breaker.State() != BreakerOpen {
+			t.Fatalf("probe %d: state %s, want open", i, s.Breaker.State())
+		}
+		if got := s.Breaker.backoff; got != want {
+			t.Errorf("probe %d: backoff %d, want %d", i, got, want)
+		}
+	}
+	if iso.isolates != 4 { // initial trip + three failed probes
+		t.Errorf("isolates = %d, want 4", iso.isolates)
+	}
+}
+
+// TestReinitFailingRepeatedlyTripsBreaker: the ISSUE's edge case — a device
+// whose Recover always fails must end up quarantined (fast-fail), not stuck
+// in an unbounded retry/reinit loop.
+func TestReinitFailingRepeatedlyTripsBreaker(t *testing.T) {
+	fd := &fakeDriver{recoverErr: fmt.Errorf("device gone")}
+	s, iso, _ := newBreakerSup(fd)
+	for i := 0; i < 20; i++ {
+		err := s.Do(failOp)
+		if err == nil {
+			t.Fatalf("round %d: Do succeeded with a dead device", i)
+		}
+		if errors.Is(err, ErrQuarantined) {
+			if i < int(s.Breaker.TripAfter) {
+				t.Fatalf("quarantined too early (round %d)", i)
+			}
+			if !iso.isolated {
+				t.Fatal("quarantined but not isolated")
+			}
+			// Reinit attempts must have stopped growing: quarantined ops
+			// never reach the retry loop.
+			before := fd.recovers
+			_ = s.Do(failOp)
+			if fd.recovers != before {
+				t.Error("quarantined op still reinitialized the device")
+			}
+			return
+		}
+	}
+	t.Fatal("20 rounds of failing reinit never tripped the breaker")
+}
+
+// TestSupervisorSLOAccounting: outage bookkeeping is exact on the virtual
+// clock — one outage from first failure to next success.
+func TestSupervisorSLOAccounting(t *testing.T) {
+	clk := &cycles.Clock{}
+	fd := &fakeDriver{}
+	s := NewSupervisor(clk, supBDF, fd)
+	s.Policy = RetryPolicy{MaxAttempts: 1} // no retries: failures surface directly
+
+	if err := s.Do(func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if slo := s.SLO(); slo.Outages != 0 || slo.DowntimeCycles != 0 {
+		t.Fatalf("clean op opened an outage: %+v", slo)
+	}
+
+	_ = s.Do(failOp) // outage opens at current clk
+	clk.Charge(cycles.Recovery, 1_000)
+	_ = s.Do(failOp) // still down: same outage
+	clk.Charge(cycles.Recovery, 2_000)
+	if err := s.Do(func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	slo := s.SLO()
+	if slo.Outages != 1 {
+		t.Errorf("Outages = %d, want 1", slo.Outages)
+	}
+	if slo.DowntimeCycles != 3_000 {
+		t.Errorf("DowntimeCycles = %d, want 3000", slo.DowntimeCycles)
+	}
+	if slo.MTTRCycles() != 3_000 {
+		t.Errorf("MTTR = %v, want 3000", slo.MTTRCycles())
+	}
+	if av := slo.Availability(30_000); av != 0.9 {
+		t.Errorf("Availability = %v, want 0.9", av)
+	}
+
+	// An open outage is counted up to "now" without mutating the ledger.
+	_ = s.Do(failOp)
+	clk.Charge(cycles.Recovery, 500)
+	if slo := s.SLO(); slo.Outages != 2 || slo.DowntimeCycles != 3_500 {
+		t.Errorf("open outage not counted: %+v", slo)
+	}
+	if s.slo.Outages != 1 {
+		t.Error("SLO() mutated the underlying ledger")
+	}
+}

@@ -35,8 +35,11 @@ type ExperimentReport struct {
 // Report is the full machine-readable run: every selected experiment's
 // cells in registry order. This is what riommu-bench -json emits and what
 // the CI benchmark-regression gate diffs against BENCH_golden.json.
+// Interrupted marks a partial report flushed on SIGINT/SIGTERM — it is
+// omitted on complete runs so golden files stay byte-stable.
 type Report struct {
 	Quality     string             `json:"quality"`
+	Interrupted bool               `json:"interrupted,omitempty"`
 	Experiments []ExperimentReport `json:"experiments"`
 }
 
@@ -81,6 +84,25 @@ func BuildReport(cfg Config, results []RunResult) (Report, error) {
 		})
 	}
 	return rep, nil
+}
+
+// BuildPartialReport assembles a report from whatever experiments finished
+// before an interrupt: failed or skipped experiments are dropped and the
+// report is marked Interrupted. Unlike BuildReport it never fails — an
+// interrupted run flushes what it has.
+func BuildPartialReport(cfg Config, results []RunResult) Report {
+	rep := Report{Quality: cfg.Quality.String(), Interrupted: true}
+	for _, r := range results {
+		if r.Err != nil {
+			continue
+		}
+		rep.Experiments = append(rep.Experiments, ExperimentReport{
+			ID:    r.Experiment.ID,
+			Title: r.Experiment.Title,
+			Cells: r.Output.Cells,
+		})
+	}
+	return rep
 }
 
 // MarshalReport renders a Report to the canonical byte form used for both

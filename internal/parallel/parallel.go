@@ -23,10 +23,33 @@
 package parallel
 
 import (
+	"errors"
 	"runtime"
 	"sync"
 	"sync/atomic"
 )
+
+// ErrInterrupted marks a cell that was never started because the run was
+// interrupted (e.g. by SIGINT). Cells that were already in flight when the
+// interrupt arrived run to completion, so every result slot holds either a
+// real outcome or ErrInterrupted — never a half-finished cell.
+var ErrInterrupted = errors.New("parallel: run interrupted")
+
+// interrupted is the process-wide cooperative cancellation flag checked by
+// Run before handing out each cell.
+var interrupted atomic.Bool
+
+// Interrupt requests that all in-progress and future Run calls stop handing
+// out new cells. Safe to call from a signal-handling goroutine.
+func Interrupt() { interrupted.Store(true) }
+
+// Interrupted reports whether Interrupt has been called since the last
+// ResetInterrupt.
+func Interrupted() bool { return interrupted.Load() }
+
+// ResetInterrupt clears the interrupt flag. Call it at the start of a
+// command's run function so earlier interrupts don't leak into a new run.
+func ResetInterrupt() { interrupted.Store(false) }
 
 // Workers resolves a -parallel flag value: n >= 1 is taken literally,
 // anything else (the flag default 0) means one worker per CPU.
@@ -42,6 +65,9 @@ func Workers(n int) int {
 // in index order on the calling goroutine. In both paths every cell is
 // executed (failures do not cancel the rest) and the returned error is the
 // lowest-index cell's error, so the outcome is independent of scheduling.
+//
+// If Interrupt is called mid-run, cells not yet started get ErrInterrupted
+// instead of executing; cells already running finish normally.
 func Run(workers, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
@@ -52,6 +78,10 @@ func Run(workers, n int, fn func(i int) error) error {
 	errs := make([]error, n)
 	if workers <= 1 {
 		for i := range errs {
+			if interrupted.Load() {
+				errs[i] = ErrInterrupted
+				continue
+			}
 			errs[i] = fn(i)
 		}
 	} else {
@@ -65,6 +95,10 @@ func Run(workers, n int, fn func(i int) error) error {
 					i := int(next.Add(1)) - 1
 					if i >= n {
 						return
+					}
+					if interrupted.Load() {
+						errs[i] = ErrInterrupted
+						continue
 					}
 					errs[i] = fn(i)
 				}

@@ -74,6 +74,9 @@ func (s *System) DegradeToStrict(bdf pci.BDF) (driver.Protection, error) {
 	if s.FaultEng != nil {
 		prot.SetFaults(s.FaultEng)
 	}
+	if s.Auditor != nil {
+		s.auditProtection(prot)
+	}
 	s.Protections[bdf] = prot
 	return prot, nil
 }

@@ -15,6 +15,7 @@ package sim
 import (
 	"fmt"
 
+	"riommu/internal/audit"
 	"riommu/internal/baseline"
 	"riommu/internal/core"
 	"riommu/internal/cycles"
@@ -108,6 +109,10 @@ type System struct {
 	// FaultEng is the fault-injection engine installed by EnableFaults
 	// (nil when injection is disabled; its methods are nil-safe).
 	FaultEng *faults.Engine
+
+	// Auditor is the shadow translation oracle installed by EnableAudit
+	// (nil when auditing is disabled).
+	Auditor *audit.Oracle
 
 	// Protections records the protection driver created for each device,
 	// so experiments can reach mode-specific knobs (e.g. the deferred
