@@ -1,8 +1,10 @@
 GO ?= go
 FUZZTIME ?= 10s
 BENCH_GOLDEN ?= BENCH_golden.json
+BENCH_WALLCLOCK ?= BENCH_wallclock.txt
+WALLCLOCK_PATTERN ?= MapUnmap|Rtranslate|^BenchmarkWalk$$|^BenchmarkIOTLB$$|CampaignCell
 
-.PHONY: all build test tier1 vet fmt-check race ci ci-local fuzz fuzz-smoke bench-json bench-check audit clean
+.PHONY: all build test tier1 vet fmt-check race ci ci-local fuzz fuzz-smoke bench-json bench-check bench-wallclock bench-wallclock-baseline alloc-check profile audit clean
 
 all: tier1
 
@@ -32,7 +34,7 @@ race:
 ci: build vet race
 
 # ci-local mirrors every gate of .github/workflows/ci.yml in one invocation.
-ci-local: build vet fmt-check test race fuzz-smoke bench-check audit
+ci-local: build vet fmt-check test race fuzz-smoke bench-check alloc-check audit
 
 # audit is the isolation gate: a quick audited chaos campaign (shadow
 # translation oracle + hostile device + circuit breaker) built with the race
@@ -74,5 +76,37 @@ bench-check: build
 	fi; \
 	echo "bench-check: no drift vs $(BENCH_GOLDEN)"
 
+# alloc-check is the allocation-regression gate: the steady-state translation
+# hot paths (IOTLB hit, rIOTLB hit, warm radix walk, IOVA recycle) must stay
+# at zero allocations per operation. Unlike the wall-clock deltas below this
+# gate is machine-independent, so CI hard-fails on it.
+alloc-check:
+	$(GO) test -run TestHotPathAllocs -count=1 .
+
+# bench-wallclock runs the wall-clock suite (ns/op of the simulator itself,
+# not virtual cycles) and compares against the committed baseline with the
+# in-repo benchdiff tool. The comparison is informational: ns/op depends on
+# the machine, so only a human refreshing the baseline pins absolute numbers.
+bench-wallclock: build
+	@tmp="$$(mktemp)"; trap 'rm -f "$$tmp"' EXIT; \
+	$(GO) test -run '^$$' -bench '$(WALLCLOCK_PATTERN)' -count=2 . | tee "$$tmp"; \
+	echo ""; \
+	$(GO) run ./cmd/benchdiff $(BENCH_WALLCLOCK) "$$tmp"
+
+# bench-wallclock-baseline regenerates the committed wall-clock baseline. Run
+# it on an otherwise idle machine and commit the result whenever an
+# intentional change moves the hot-path timings (expect noise across
+# machines; the deltas, not the absolute numbers, are what reviews compare).
+bench-wallclock-baseline: build
+	$(GO) test -run '^$$' -bench '$(WALLCLOCK_PATTERN)' -count=2 . | tee $(BENCH_WALLCLOCK)
+
+# profile runs the quick campaign grid under the CPU and heap profilers; feed
+# the outputs to `go tool pprof`.
+profile: build
+	$(GO) run ./cmd/riommu-bench -quality quick -parallel 1 \
+		-cpuprofile cpu.pprof -memprofile mem.pprof > /dev/null
+	@echo "wrote cpu.pprof and mem.pprof; inspect with: $(GO) tool pprof cpu.pprof"
+
 clean:
 	$(GO) clean ./...
+	rm -f cpu.pprof mem.pprof

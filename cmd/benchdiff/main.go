@@ -1,0 +1,161 @@
+// Command benchdiff compares two `go test -bench` output files and prints a
+// per-benchmark delta table, in the spirit of benchstat but with no
+// dependencies outside the standard library (the container this repo builds
+// in has only the Go toolchain).
+//
+// Usage:
+//
+//	benchdiff [-fail-over PCT] old.txt new.txt
+//
+// For every benchmark present in both files it reports the mean ns/op of old
+// and new and the relative change. With -fail-over N the exit status is 1 if
+// any benchmark slowed down by more than N percent; by default the output is
+// purely informational. Benchmarks present in only one file are listed but
+// never gate. allocs/op columns, when present, are compared the same way and
+// always gate: any increase fails, because the hot paths are pinned at zero.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// sample accumulates the measurements of one benchmark across -count runs.
+type sample struct {
+	nsSum     float64
+	nsN       int
+	allocsSum float64
+	allocsN   int
+	order     int // first-seen position, to keep output in file order
+	hasAllocs bool
+}
+
+func (s *sample) ns() float64 { return s.nsSum / float64(s.nsN) }
+func (s *sample) allocs() float64 {
+	if s.allocsN == 0 {
+		return 0
+	}
+	return s.allocsSum / float64(s.allocsN)
+}
+
+// parse reads one `go test -bench` output file into name → sample. Benchmark
+// lines look like:
+//
+//	BenchmarkWalk-8   38212345   31.23 ns/op   0 B/op   0 allocs/op
+//
+// The -8 GOMAXPROCS suffix is stripped so files from differently-sized
+// machines still line up.
+func parse(path string) (map[string]*sample, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]*sample)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		s := out[name]
+		if s == nil {
+			s = &sample{order: len(out)}
+			out[name] = s
+		}
+		// Scan "<value> <unit>" pairs after the iteration count.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				s.nsSum += v
+				s.nsN++
+			case "allocs/op":
+				s.allocsSum += v
+				s.allocsN++
+				s.hasAllocs = true
+			}
+		}
+	}
+	return out, sc.Err()
+}
+
+func pct(before, after float64) float64 {
+	if before == 0 {
+		return 0
+	}
+	return (after - before) / before * 100
+}
+
+func main() {
+	failOver := flag.Float64("fail-over", 0, "exit 1 if any benchmark slows down by more than this percent (0 = informational)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [-fail-over PCT] old.txt new.txt\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	old, err := parse(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := parse(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(old))
+	for n := range old {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return old[names[i]].order < old[names[j]].order })
+
+	fmt.Printf("%-34s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	failed := false
+	for _, n := range names {
+		o, c := old[n], cur[n]
+		if c == nil {
+			fmt.Printf("%-34s %14.1f %14s %9s\n", n, o.ns(), "-", "gone")
+			continue
+		}
+		d := pct(o.ns(), c.ns())
+		mark := ""
+		if *failOver > 0 && d > *failOver {
+			mark = "  REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-34s %14.1f %14.1f %+8.1f%%%s\n", n, o.ns(), c.ns(), d, mark)
+		if o.hasAllocs && c.hasAllocs && c.allocs() > o.allocs() {
+			fmt.Printf("%-34s %14.1f %14.1f allocs/op  ALLOC REGRESSION\n", "  └ allocs", o.allocs(), c.allocs())
+			failed = true
+		}
+	}
+	for n, c := range cur {
+		if old[n] == nil {
+			fmt.Printf("%-34s %14s %14.1f %9s\n", n, "-", c.ns(), "new")
+		}
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchdiff: regressions detected")
+		os.Exit(1)
+	}
+}

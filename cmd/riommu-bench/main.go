@@ -32,6 +32,7 @@ import (
 
 	"riommu/internal/experiments"
 	"riommu/internal/parallel"
+	"riommu/internal/profiling"
 )
 
 func main() {
@@ -69,10 +70,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		workers = fs.Int("parallel", 0, "cell-level worker count (0 = GOMAXPROCS, 1 = serial)")
 		jsonOut = fs.String("json", "", "write the machine-readable per-cell report to this file")
 		csvDir  = fs.String("csv", "", "also export Figure 7/8/12 data series as CSV into this directory")
+		cpuProf = fs.String("cpuprofile", "", "write a CPU profile (runtime/pprof) to this file")
+		memProf = fs.String("memprofile", "", "write an allocs heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(stderr, "riommu-bench:", err)
+		return 2
+	}
+	// Deferred (not run at exit) so profiles are flushed before the 130 of an
+	// interrupted run reaches os.Exit.
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(stderr, "riommu-bench:", err)
+		}
+	}()
 
 	cfg := experiments.Config{Quality: experiments.Quick, Workers: parallel.Workers(*workers)}
 	switch *quality {

@@ -43,6 +43,7 @@ import (
 	"riommu/internal/campaign"
 	"riommu/internal/chaos"
 	"riommu/internal/parallel"
+	"riommu/internal/profiling"
 )
 
 func main() {
@@ -82,10 +83,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		jsonOut  = fs.String("json", "", "write the machine-readable per-cell report to this file")
 		auditOn  = fs.Bool("audit", false, "install the shadow translation oracle and enforce the isolation gate")
 		chaosArg = fs.String("chaos", "", "comma-separated hostile-device scenarios, or \"all\" (implies -audit)")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile (runtime/pprof) to this file")
+		memProf  = fs.String("memprofile", "", "write an allocs heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(stderr, "riommu-faults:", err)
+		return 2
+	}
+	// Deferred (not run at exit) so profiles are flushed before the 130 of an
+	// interrupted run reaches os.Exit.
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(stderr, "riommu-faults:", err)
+		}
+	}()
 
 	ms, err := campaign.ParseModes(*modes)
 	if err != nil {

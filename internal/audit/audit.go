@@ -113,6 +113,14 @@ type Oracle struct {
 	live    map[pci.BDF]map[uint64]*Mapping
 	retired map[pci.BDF][]Retired
 
+	// lastBDF/lastHit cache the mapping the previous chunk landed in. DMA
+	// chunks arrive in bursts against the same mapping (a ring's descriptor
+	// area, a packet buffer split at a page boundary), and live mappings
+	// never overlap, so a cache hit is exactly the mapping the linear scan
+	// would find. Invalidated whenever that mapping is retired.
+	lastBDF pci.BDF
+	lastHit *Mapping
+
 	// Aggregate counters. Checked counts verified DMA chunks; Violations
 	// counts every breach (Events holds only the first maxEvents).
 	Checked    uint64
@@ -183,6 +191,9 @@ func (o *Oracle) OnUnmap(bdf pci.BDF, iova uint64) {
 }
 
 func (o *Oracle) retire(bdf pci.BDF, m *Mapping) {
+	if m == o.lastHit {
+		o.lastHit = nil
+	}
 	r := append(o.retired[bdf], Retired{Mapping: *m, UnmapCycle: o.clk.Now()})
 	if len(r) > retiredCap {
 		r = append(r[:0:0], r[len(r)-retiredCap:]...)
@@ -208,13 +219,20 @@ func (o *Oracle) VerifyDMA(bdf pci.BDF, iova uint64, pa mem.PA, size uint32, dir
 		return
 	}
 	var m *Mapping
-	for _, cand := range o.live[bdf] {
-		// Live base IOVAs never overlap (distinct allocator ranges /
-		// rentries), so at most one mapping contains the chunk start and
-		// map-iteration order cannot affect the outcome.
-		if iova >= cand.IOVA && iova < cand.IOVA+uint64(cand.Size) {
-			m = cand
-			break
+	if c := o.lastHit; c != nil && o.lastBDF == bdf && iova >= c.IOVA && iova < c.IOVA+uint64(c.Size) {
+		m = c
+	} else {
+		for _, cand := range o.live[bdf] {
+			// Live base IOVAs never overlap (distinct allocator ranges /
+			// rentries), so at most one mapping contains the chunk start and
+			// map-iteration order cannot affect the outcome.
+			if iova >= cand.IOVA && iova < cand.IOVA+uint64(cand.Size) {
+				m = cand
+				break
+			}
+		}
+		if m != nil {
+			o.lastBDF, o.lastHit = bdf, m
 		}
 	}
 	if m != nil {

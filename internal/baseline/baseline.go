@@ -85,6 +85,8 @@ type Driver struct {
 	deferQ     []deferred
 	deferBatch int
 	live       int
+
+	paScratch []mem.PA // Unmap's per-call page list, reused across calls
 }
 
 type deferred struct {
@@ -213,7 +215,8 @@ func (d *Driver) Unmap(_ int, iovaAddr uint64, size uint32, _ bool) error {
 
 	// (1) Remove from the page-table hierarchy; remember the physical pages
 	// so the buffer can be unpinned afterwards.
-	basePAs := make([]mem.PA, 0, pages)
+	basePAs := d.paScratch[:0]
+	defer func() { d.paScratch = basePAs[:0] }()
 	for i := uint64(0); i < pages; i++ {
 		va := (pfn + i) << mem.PageShift
 		pa, _, err := d.space.Lookup(va)

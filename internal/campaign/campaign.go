@@ -254,6 +254,7 @@ func nicCell(mode sim.Mode, seed uint64, rate float64, rounds int, audited bool)
 	if err != nil {
 		return CellMetrics{}, err
 	}
+	defer sys.Close()
 	f := sys.EnableFaults(faults.UniformConfig(seed, rate))
 	if audited {
 		sys.EnableAudit()
@@ -315,6 +316,7 @@ func blockCell(dev string, mode sim.Mode, seed uint64, rate float64, rounds int,
 	if err != nil {
 		return CellMetrics{}, err
 	}
+	defer sys.Close()
 	f := sys.EnableFaults(faults.UniformConfig(seed, rate))
 	if audited {
 		sys.EnableAudit()
@@ -402,6 +404,7 @@ func chaosCell(mode sim.Mode, scenario chaos.Scenario, seed uint64, rounds int) 
 	if err != nil {
 		return CellMetrics{}, err
 	}
+	defer sys.Close()
 	// Injection stays quiet except in the cascade scenario, which opens a
 	// multi-class fault storm across the middle third of the cell.
 	f := sys.EnableFaults(faults.UniformConfig(seed, 0))

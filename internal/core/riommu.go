@@ -93,13 +93,16 @@ type tlbKey struct {
 }
 
 // tlbEntry is an rIOTLB_entry (Figure 9e): the cached "current" rPTE of one
-// ring plus an optionally prefetched copy of the subsequent rPTE.
+// ring plus an optionally prefetched copy of the subsequent rPTE. Entries are
+// allocated once per ring and recycled across invalidations (present gates
+// liveness), so the steady-state translate path allocates nothing.
 type tlbEntry struct {
-	bdf    pci.BDF
-	rid    uint16
-	rentry uint32
-	rpte   rpte
-	next   rpte // prefetched copy; next.valid gates its use
+	bdf     pci.BDF
+	rid     uint16
+	present bool
+	rentry  uint32
+	rpte    rpte
+	next    rpte // prefetched copy; next.valid gates its use
 }
 
 // IOPF is the I/O page fault raised by rtranslate/rtable_walk. OSes
@@ -131,8 +134,15 @@ type RIOMMU struct {
 
 	devices map[pci.BDF]*Device
 	tlb     map[tlbKey]*tlbEntry
+	tlbLive int // entries with present set (TLBEntries)
 	stats   Stats
 	aud     InvObserver
+
+	// lastKey/lastE cache the most recently used rIOTLB entry so that the
+	// common case — a device streaming through one ring — resolves with zero
+	// map lookups. lastE always points at the map's entry for lastKey.
+	lastKey tlbKey
+	lastE   *tlbEntry
 
 	// DisablePrefetch turns off the speculative next-rPTE load. The design
 	// does not depend on it (§4: "works just as well without it" for
@@ -157,7 +167,7 @@ func (u *RIOMMU) Stats() Stats { return u.stats }
 
 // TLBEntries returns the number of live rIOTLB entries (at most one per
 // ring, by construction).
-func (u *RIOMMU) TLBEntries() int { return len(u.tlb) }
+func (u *RIOMMU) TLBEntries() int { return u.tlbLive }
 
 // AttachDevice registers a device with ringSizes[i] entries in ring i,
 // allocating each flat table in simulated physical memory. Ring sizes must
@@ -199,13 +209,20 @@ func (u *RIOMMU) DetachDevice(bdf pci.BDF) error {
 		return fmt.Errorf("riommu: device %s not attached", bdf)
 	}
 	for rid, r := range d.rings {
-		delete(u.tlb, tlbKey{bdf: bdf, rid: uint16(rid)})
+		key := tlbKey{bdf: bdf, rid: uint16(rid)}
+		if e, ok := u.tlb[key]; ok {
+			if e.present {
+				u.tlbLive--
+			}
+			delete(u.tlb, key)
+		}
 		for i := 0; i < r.nframes; i++ {
 			if err := u.mm.FreeFrame(r.frames + mem.PFN(i)); err != nil {
 				return err
 			}
 		}
 	}
+	u.lastKey, u.lastE = tlbKey{}, nil // may point at a just-deleted entry
 	delete(u.devices, bdf)
 	return nil
 }
@@ -244,32 +261,33 @@ func (u *RIOMMU) fault(bdf pci.BDF, iova IOVA, reason string) error {
 
 // rtableWalk implements rtable_walk (Figure 10 top/right): bounds-check the
 // rIOVA against the rDEVICE/rRING limits, fetch its rPTE from memory,
-// validate it, build the rIOTLB entry, and attempt to prefetch the next one.
-func (u *RIOMMU) rtableWalk(bdf pci.BDF, iova IOVA) (*tlbEntry, error) {
+// validate it, fill the caller's rIOTLB entry in place, and attempt to
+// prefetch the next one. On error e is left untouched.
+func (u *RIOMMU) rtableWalk(bdf pci.BDF, iova IOVA, e *tlbEntry) error {
 	d, ok := u.devices[bdf]
 	if !ok {
-		return nil, u.fault(bdf, iova, "no rDEVICE for bdf")
+		return u.fault(bdf, iova, "no rDEVICE for bdf")
 	}
 	rid := iova.RID()
 	if int(rid) >= len(d.rings) {
-		return nil, u.fault(bdf, iova, "rid out of range")
+		return u.fault(bdf, iova, "rid out of range")
 	}
 	r := d.rings[rid]
 	if iova.REntry() >= r.size {
-		return nil, u.fault(bdf, iova, "rentry out of range")
+		return u.fault(bdf, iova, "rentry out of range")
 	}
 	p, err := u.readRPTE(r, iova.REntry())
 	if err != nil {
-		return nil, err
+		return err
 	}
 	u.stats.TableFetches++
 	u.clk.Charge(cycles.DeviceSide, u.model.RIOTLBFetch)
 	if !p.valid {
-		return nil, u.fault(bdf, iova, "invalid rPTE")
+		return u.fault(bdf, iova, "invalid rPTE")
 	}
-	e := &tlbEntry{bdf: bdf, rid: rid, rentry: iova.REntry(), rpte: p}
+	e.bdf, e.rid, e.rentry, e.rpte = bdf, rid, iova.REntry(), p
 	u.rprefetch(d, e)
-	return e, nil
+	return nil
 }
 
 // rprefetch implements rprefetch (Figure 10 bottom/right): copy the
@@ -304,12 +322,7 @@ func (u *RIOMMU) riotlbEntrySync(bdf pci.BDF, iova IOVA, e *tlbEntry) error {
 		e.next.valid = false
 		u.stats.PrefetchHits++
 	} else {
-		w, err := u.rtableWalk(bdf, iova)
-		if err != nil {
-			return err
-		}
-		*e = *w
-		return nil // rtableWalk already prefetched
+		return u.rtableWalk(bdf, iova, e) // walk fills e and prefetches
 	}
 	u.rprefetch(d, e)
 	return nil
@@ -321,14 +334,22 @@ func (u *RIOMMU) riotlbEntrySync(bdf pci.BDF, iova IOVA, e *tlbEntry) error {
 func (u *RIOMMU) Rtranslate(bdf pci.BDF, iova IOVA, dir pci.Dir) (mem.PA, error) {
 	u.stats.Translations++
 	key := tlbKey{bdf: bdf, rid: iova.RID()}
-	e, ok := u.tlb[key]
-	if !ok {
-		w, err := u.rtableWalk(bdf, iova)
-		if err != nil {
+	e := u.lastE
+	if e == nil || u.lastKey != key {
+		var ok bool
+		e, ok = u.tlb[key]
+		if !ok {
+			e = &tlbEntry{}
+			u.tlb[key] = e
+		}
+		u.lastKey, u.lastE = key, e
+	}
+	if !e.present {
+		if err := u.rtableWalk(bdf, iova, e); err != nil {
 			return 0, err
 		}
-		e = w
-		u.tlb[key] = e
+		e.present = true
+		u.tlbLive++
 	} else if e.rentry != iova.REntry() {
 		if err := u.riotlbEntrySync(bdf, iova, e); err != nil {
 			return 0, err
@@ -355,8 +376,10 @@ func (u *RIOMMU) Translate(bdf pci.BDF, iovaAddr uint64, size uint32, dir pci.Di
 		return 0, err
 	}
 	if size > 0 {
-		key := tlbKey{bdf: bdf, rid: iova.RID()}
-		if e := u.tlb[key]; e != nil && uint64(iova.Offset())+uint64(size) > uint64(e.rpte.size) {
+		// A successful Rtranslate always leaves lastE pointing at this
+		// ring's entry, so the bound check needs no second map lookup.
+		if e := u.lastE; e != nil && e.present && u.lastKey == (tlbKey{bdf: bdf, rid: iova.RID()}) &&
+			uint64(iova.Offset())+uint64(size) > uint64(e.rpte.size) {
 			return 0, u.fault(bdf, iova, fmt.Sprintf("access of %d bytes exceeds buffer size %d", size, e.rpte.size))
 		}
 	}
@@ -375,7 +398,10 @@ func (u *RIOMMU) SetAudit(o InvObserver) { u.aud = o }
 // invalidate drops the ring's single rIOTLB entry (the end-of-burst
 // operation issued by the OS driver's unmap).
 func (u *RIOMMU) invalidate(bdf pci.BDF, rid uint16) {
-	delete(u.tlb, tlbKey{bdf: bdf, rid: rid})
+	if e, ok := u.tlb[tlbKey{bdf: bdf, rid: rid}]; ok && e.present {
+		e.present = false
+		u.tlbLive--
+	}
 	u.stats.Invalidations++
 	if u.aud != nil {
 		u.aud.OnInvalidate(bdf, uint64(rid))

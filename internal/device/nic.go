@@ -89,6 +89,11 @@ type NIC struct {
 	// in LastTx for end-to-end verification in tests.
 	CaptureTx bool
 	LastTx    []byte
+
+	// txScratch is the reusable DMA target for Tx payload fetches, so the
+	// per-packet path allocates nothing. Its contents never outlive one
+	// descriptor's processing (CaptureTx copies out via append).
+	txScratch []byte
 }
 
 // NewNIC binds a NIC model to its rings and DMA engine. The rings are the
@@ -179,7 +184,10 @@ func (n *NIC) ProcessTx(maxPackets int) (int, error) {
 					}
 				}
 			} else {
-				buf := make([]byte, d.Len)
+				if uint32(cap(n.txScratch)) < d.Len {
+					n.txScratch = make([]byte, d.Len)
+				}
+				buf := n.txScratch[:d.Len]
 				if err := n.eng.Read(n.bdf, d.Addr, buf); err != nil {
 					n.Faults++
 					d.Flags |= ring.FlagDone | ring.FlagError

@@ -29,12 +29,23 @@ type SATACommand struct {
 	Op      int
 }
 
+// sataChunk is the materialization granule of the drive's backing store:
+// chunks are allocated (zeroed) on first write, and reads of never-written
+// chunks observe zeros — indistinguishable from one flat zeroed array, but a
+// mostly-idle multi-hundred-MiB disk costs only its touched working set.
+const sataChunk = 1 << 18 // 256 KiB
+
 // SATA is the drive model with its single 32-slot queue.
 type SATA struct {
 	bdf       pci.BDF
 	eng       *dma.Engine
 	BlockSize uint32
-	storage   []byte
+
+	storageSize uint64   // virtual disk size in bytes
+	chunks      [][]byte // nil chunk = all zeros (never written)
+	zeroBuf     []byte   // shared all-zero read source, never written
+	asmBuf      []byte   // assembly target for chunk-crossing reads
+	scratch     []byte   // reusable DMA target for write commands
 
 	slots  [SATASlots]*SATACommand
 	issued uint32 // bitmask of occupied slots
@@ -49,12 +60,60 @@ type SATA struct {
 
 // NewSATA creates a drive with the given geometry.
 func NewSATA(bdf pci.BDF, eng *dma.Engine, blockSize uint32, blocks uint64) *SATA {
+	size := uint64(blockSize) * blocks
 	return &SATA{
 		bdf:              bdf,
 		eng:              eng,
 		BlockSize:        blockSize,
-		storage:          make([]byte, uint64(blockSize)*blocks),
+		storageSize:      size,
+		chunks:           make([][]byte, (size+sataChunk-1)/sataChunk),
 		SeqLatencyCycles: 300_000, // ~100 µs/op at 3.1 GHz: a fast SATA SSD
+	}
+}
+
+// storageRead returns n bytes of disk content at off. The returned slice is
+// valid until the next storageRead and must not be written.
+func (s *SATA) storageRead(off uint64, n uint32) []byte {
+	ci, co := off/sataChunk, off%sataChunk
+	if co+uint64(n) <= sataChunk {
+		if c := s.chunks[ci]; c != nil {
+			return c[co : co+uint64(n)]
+		}
+		if uint32(len(s.zeroBuf)) < n {
+			s.zeroBuf = make([]byte, n)
+		}
+		return s.zeroBuf[:n]
+	}
+	if uint32(cap(s.asmBuf)) < n {
+		s.asmBuf = make([]byte, n)
+	}
+	out := s.asmBuf[:n]
+	for done := uint64(0); done < uint64(n); {
+		ci, co = (off+done)/sataChunk, (off+done)%sataChunk
+		take := sataChunk - co
+		if rem := uint64(n) - done; take > rem {
+			take = rem
+		}
+		if c := s.chunks[ci]; c != nil {
+			copy(out[done:done+take], c[co:])
+		} else {
+			clear(out[done : done+take])
+		}
+		done += take
+	}
+	return out
+}
+
+// storageWrite stores src at off, materializing chunks on first touch.
+func (s *SATA) storageWrite(off uint64, src []byte) {
+	for done := 0; done < len(src); {
+		ci, co := (off+uint64(done))/sataChunk, (off+uint64(done))%sataChunk
+		c := s.chunks[ci]
+		if c == nil {
+			c = make([]byte, sataChunk)
+			s.chunks[ci] = c
+		}
+		done += copy(c[co:], src[done:])
 	}
 }
 
@@ -124,22 +183,25 @@ func (s *SATA) complete(slot int) error {
 		return fmt.Errorf("sata: completing empty slot %d", slot)
 	}
 	off := cmd.Block * uint64(s.BlockSize)
-	if off+uint64(cmd.Length) > uint64(len(s.storage)) {
+	if off+uint64(cmd.Length) > s.storageSize {
 		return fmt.Errorf("sata: block %d out of range", cmd.Block)
 	}
 	switch cmd.Op {
 	case SATARead:
-		if err := s.eng.Write(s.bdf, cmd.BufIOVA, s.storage[off:off+uint64(cmd.Length)]); err != nil {
+		if err := s.eng.Write(s.bdf, cmd.BufIOVA, s.storageRead(off, cmd.Length)); err != nil {
 			s.Faults++
 			return fmt.Errorf("sata: read DMA: %w", err)
 		}
 	case SATAWrite:
-		buf := make([]byte, cmd.Length)
+		if uint32(cap(s.scratch)) < cmd.Length {
+			s.scratch = make([]byte, cmd.Length)
+		}
+		buf := s.scratch[:cmd.Length]
 		if err := s.eng.Read(s.bdf, cmd.BufIOVA, buf); err != nil {
 			s.Faults++
 			return fmt.Errorf("sata: write DMA: %w", err)
 		}
-		copy(s.storage[off:], buf)
+		s.storageWrite(off, buf)
 	default:
 		return fmt.Errorf("sata: bad opcode %d", cmd.Op)
 	}

@@ -122,32 +122,21 @@ func (e *Engine) Faults() *faults.Engine { return e.inj }
 // rejects never reach the auditor — containment worked.
 func (e *Engine) SetAudit(a Auditor) { e.aud = a }
 
-// chunks invokes f once per maximal sub-access that does not cross a 4 KiB
-// IOVA boundary. off is the cursor into the caller's buffer.
-func chunks(iova uint64, total int, f func(iova uint64, off, n int) error) error {
-	off := 0
-	for off < total {
-		n := int(mem.PageSize - iova&mem.PageMask)
-		if rem := total - off; n > rem {
-			n = rem
-		}
-		if err := f(iova, off, n); err != nil {
-			return err
-		}
-		iova += uint64(n)
-		off += n
-	}
-	return nil
-}
-
 // Read performs a device read of len(buf) bytes from memory at iova (a
-// to-device DMA, e.g. fetching a packet to transmit or a descriptor).
+// to-device DMA, e.g. fetching a packet to transmit or a descriptor). The
+// transfer is split at 4 KiB IOVA boundaries; the loop is written inline
+// (rather than through a callback) so the per-DMA path allocates nothing.
 func (e *Engine) Read(bdf pci.BDF, iova uint64, buf []byte) error {
 	if len(buf) == 0 {
 		return fmt.Errorf("dma: zero-length read")
 	}
 	iova, _ = e.inj.StaleDMA(bdf, iova)
-	err := chunks(iova, len(buf), func(iova uint64, off, n int) error {
+	total := len(buf)
+	for off := 0; off < total; {
+		n := int(mem.PageSize - iova&mem.PageMask)
+		if rem := total - off; n > rem {
+			n = rem
+		}
 		pa, err := e.tr.Translate(bdf, iova, uint32(n), pci.DirToDevice)
 		if err != nil {
 			return err
@@ -155,10 +144,11 @@ func (e *Engine) Read(bdf pci.BDF, iova uint64, buf []byte) error {
 		if e.aud != nil {
 			e.aud.VerifyDMA(bdf, iova, pa, uint32(n), pci.DirToDevice)
 		}
-		return e.mm.ReadInto(pa, buf[off:off+n])
-	})
-	if err != nil {
-		return err
+		if err := e.mm.ReadInto(pa, buf[off:off+n]); err != nil {
+			return err
+		}
+		iova += uint64(n)
+		off += n
 	}
 	e.Reads++
 	e.Bytes += uint64(len(buf))
@@ -166,13 +156,19 @@ func (e *Engine) Read(bdf pci.BDF, iova uint64, buf []byte) error {
 }
 
 // Write performs a device write of data to memory at iova (a from-device
-// DMA, e.g. depositing a received packet or a completion status).
+// DMA, e.g. depositing a received packet or a completion status). Split and
+// structured exactly like Read.
 func (e *Engine) Write(bdf pci.BDF, iova uint64, data []byte) error {
 	if len(data) == 0 {
 		return fmt.Errorf("dma: zero-length write")
 	}
 	iova, _ = e.inj.StaleDMA(bdf, iova)
-	err := chunks(iova, len(data), func(iova uint64, off, n int) error {
+	total := len(data)
+	for off := 0; off < total; {
+		n := int(mem.PageSize - iova&mem.PageMask)
+		if rem := total - off; n > rem {
+			n = rem
+		}
 		pa, err := e.tr.Translate(bdf, iova, uint32(n), pci.DirFromDevice)
 		if err != nil {
 			return err
@@ -180,10 +176,11 @@ func (e *Engine) Write(bdf pci.BDF, iova uint64, data []byte) error {
 		if e.aud != nil {
 			e.aud.VerifyDMA(bdf, iova, pa, uint32(n), pci.DirFromDevice)
 		}
-		return e.mm.Write(pa, data[off:off+n])
-	})
-	if err != nil {
-		return err
+		if err := e.mm.Write(pa, data[off:off+n]); err != nil {
+			return err
+		}
+		iova += uint64(n)
+		off += n
 	}
 	e.Writes++
 	e.Bytes += uint64(len(data))

@@ -97,6 +97,7 @@ func RunAblations(cfg Config) (AblationsResult, error) {
 		if err != nil {
 			return cell, err
 		}
+		defer sys.Close()
 		sys.RHW.DisablePrefetch = disable
 		drv, _, err := sys.AttachNIC(device.ProfileBRCM, pci.NewBDF(0, 3, 0))
 		if err != nil {
@@ -139,6 +140,7 @@ func RunAblations(cfg Config) (AblationsResult, error) {
 		if err != nil {
 			return 0, err
 		}
+		defer sys.Close()
 		prot, err := sys.ProtectionFor(pci.NewBDF(0, 3, 0), []uint32{2, n, n})
 		if err != nil {
 			return 0, err

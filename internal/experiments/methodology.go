@@ -70,6 +70,7 @@ func RunMethodology(cfg Config) (MethodologyResult, error) {
 		if err != nil {
 			return err
 		}
+		defer sys.Close()
 		drv, _, err := sys.AttachNIC(device.ProfileMLX, workload.NICBDF)
 		if err != nil {
 			return err

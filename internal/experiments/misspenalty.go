@@ -63,6 +63,7 @@ func RunMissPenalty(cfg Config) (MissPenaltyResult, error) {
 		if err != nil {
 			return out, err
 		}
+		defer sys.Close()
 		prot, err := sys.ProtectionFor(bdf, tables)
 		if err != nil {
 			return out, err

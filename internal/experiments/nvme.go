@@ -59,6 +59,7 @@ func RunNVMe(cfg Config) (NVMeResult, error) {
 		if err != nil {
 			return cell, err
 		}
+		defer sys.Close()
 		prot, err := sys.ProtectionFor(bdf, []uint32{4, 4 * depth, 4 * depth})
 		if err != nil {
 			return cell, err

@@ -90,6 +90,7 @@ func CollectTrace(q Quality, profile device.NICProfile) (*trace.Trace, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer sys.Close()
 	bdf := pci.NewBDF(0, 3, 0)
 	tr := &trace.Trace{}
 
@@ -201,6 +202,7 @@ func RunPrefetchers(cfg Config) (PrefetchersResult, error) {
 			if err != nil {
 				return err
 			}
+			defer sys.Close()
 			bdf := pci.NewBDF(0, 3, 0)
 			drv, _, err := sys.AttachNIC(profile, bdf)
 			if err != nil {

@@ -38,20 +38,29 @@ type Stats struct {
 // DefaultCapacity matches contemporary IOTLB sizes (dozens of entries);
 // the exact figure is not architecturally visible and only matters for the
 // §5.3 miss-penalty experiment, which defeats any realistic size.
+//
+// The cache is a flat slab of slots threaded onto two intrusive index-linked
+// lists (LRU order and free list), with a map from Key to slot index. The
+// hot operations — hit, insert-with-eviction, invalidate — allocate nothing:
+// slots are recycled in place and only the map keys churn.
 type IOTLB struct {
 	capacity int
-	entries  map[Key]*lruNode
-	head     *lruNode // most recently used
-	tail     *lruNode // least recently used
+	index    map[Key]int32
+	slots    []lruSlot
+	head     int32 // most recently used, -1 when empty
+	tail     int32 // least recently used, -1 when empty
+	freeHead int32 // singly linked free list through next, -1 when exhausted
 	stats    Stats
 }
 
-type lruNode struct {
+type lruSlot struct {
 	key        Key
 	entry      Entry
 	stale      bool // OS has unmapped this translation but not invalidated it
-	prev, next *lruNode
+	prev, next int32
 }
+
+const nilSlot = int32(-1)
 
 // DefaultCapacity is the default number of IOTLB entries.
 const DefaultCapacity = 64
@@ -61,17 +70,30 @@ func New(capacity int) *IOTLB {
 	if capacity <= 0 {
 		capacity = DefaultCapacity
 	}
-	return &IOTLB{
+	t := &IOTLB{
 		capacity: capacity,
-		entries:  make(map[Key]*lruNode, capacity),
+		index:    make(map[Key]int32, capacity),
+		slots:    make([]lruSlot, capacity),
 	}
+	t.reset()
+	return t
+}
+
+// reset threads every slot onto the free list and empties the LRU order.
+func (t *IOTLB) reset() {
+	for i := range t.slots {
+		t.slots[i] = lruSlot{next: int32(i) + 1, prev: nilSlot}
+	}
+	t.slots[len(t.slots)-1].next = nilSlot
+	t.freeHead = 0
+	t.head, t.tail = nilSlot, nilSlot
 }
 
 // Capacity returns the maximum number of entries.
 func (t *IOTLB) Capacity() int { return t.capacity }
 
 // Len returns the current number of entries.
-func (t *IOTLB) Len() int { return len(t.entries) }
+func (t *IOTLB) Len() int { return len(t.index) }
 
 // Stats returns a copy of the event counters.
 func (t *IOTLB) Stats() Stats { return t.stats }
@@ -81,93 +103,99 @@ func (t *IOTLB) Stats() Stats { return t.stats }
 // deferred-mode vulnerability window) is counted in StaleLookups and still
 // returned, exactly as real hardware would.
 func (t *IOTLB) Lookup(key Key) (Entry, bool) {
-	n, ok := t.entries[key]
+	i, ok := t.index[key]
 	if !ok {
 		t.stats.Misses++
 		return Entry{}, false
 	}
 	t.stats.Hits++
-	if n.stale {
+	if t.slots[i].stale {
 		t.stats.StaleLookups++
 	}
-	t.moveToFront(n)
-	return n.entry, true
+	t.moveToFront(i)
+	return t.slots[i].entry, true
 }
 
 // Insert caches a translation, evicting the LRU entry if full.
 func (t *IOTLB) Insert(key Key, e Entry) {
-	if n, ok := t.entries[key]; ok {
-		n.entry = e
-		n.stale = false
-		t.moveToFront(n)
+	if i, ok := t.index[key]; ok {
+		t.slots[i].entry = e
+		t.slots[i].stale = false
+		t.moveToFront(i)
 		return
 	}
-	if len(t.entries) >= t.capacity {
-		lru := t.tail
-		t.unlink(lru)
-		delete(t.entries, lru.key)
+	i := t.freeHead
+	if i == nilSlot {
+		i = t.tail
+		t.unlink(i)
+		delete(t.index, t.slots[i].key)
 		t.stats.Evictions++
+	} else {
+		t.freeHead = t.slots[i].next
 	}
-	n := &lruNode{key: key, entry: e}
-	t.entries[key] = n
-	t.pushFront(n)
+	t.slots[i] = lruSlot{key: key, entry: e, prev: nilSlot, next: nilSlot}
+	t.index[key] = i
+	t.pushFront(i)
 	t.stats.Inserts++
 }
 
 // MarkStale flags a cached translation whose mapping the OS has removed but
 // whose invalidation is deferred. It is a no-op if the entry is not cached.
 func (t *IOTLB) MarkStale(key Key) {
-	if n, ok := t.entries[key]; ok {
-		n.stale = true
+	if i, ok := t.index[key]; ok {
+		t.slots[i].stale = true
 	}
 }
 
 // Invalidate removes a single entry (the strict-mode per-unmap operation).
 func (t *IOTLB) Invalidate(key Key) {
 	t.stats.Invalidates++
-	if n, ok := t.entries[key]; ok {
-		t.unlink(n)
-		delete(t.entries, key)
+	if i, ok := t.index[key]; ok {
+		t.unlink(i)
+		delete(t.index, key)
+		t.slots[i].next = t.freeHead
+		t.freeHead = i
 	}
 }
 
 // Flush empties the whole cache (the deferred-mode bulk operation).
 func (t *IOTLB) Flush() {
 	t.stats.GlobalFlush++
-	t.entries = make(map[Key]*lruNode, t.capacity)
-	t.head, t.tail = nil, nil
+	clear(t.index)
+	t.reset()
 }
 
-func (t *IOTLB) pushFront(n *lruNode) {
-	n.prev = nil
-	n.next = t.head
-	if t.head != nil {
-		t.head.prev = n
+func (t *IOTLB) pushFront(i int32) {
+	t.slots[i].prev = nilSlot
+	t.slots[i].next = t.head
+	if t.head != nilSlot {
+		t.slots[t.head].prev = i
 	}
-	t.head = n
-	if t.tail == nil {
-		t.tail = n
+	t.head = i
+	if t.tail == nilSlot {
+		t.tail = i
 	}
 }
 
-func (t *IOTLB) unlink(n *lruNode) {
-	if n.prev != nil {
-		n.prev.next = n.next
+func (t *IOTLB) unlink(i int32) {
+	s := &t.slots[i]
+	if s.prev != nilSlot {
+		t.slots[s.prev].next = s.next
 	} else {
-		t.head = n.next
+		t.head = s.next
 	}
-	if n.next != nil {
-		n.next.prev = n.prev
+	if s.next != nilSlot {
+		t.slots[s.next].prev = s.prev
 	} else {
-		t.tail = n.prev
+		t.tail = s.prev
 	}
-	n.prev, n.next = nil, nil
+	s.prev, s.next = nilSlot, nilSlot
 }
 
-func (t *IOTLB) moveToFront(n *lruNode) {
-	if t.head == n {
+func (t *IOTLB) moveToFront(i int32) {
+	if t.head == i {
 		return
 	}
-	t.unlink(n)
-	t.pushFront(n)
+	t.unlink(i)
+	t.pushFront(i)
 }

@@ -46,6 +46,8 @@ type LinuxAllocator struct {
 	t        tree
 	cached32 *node // Linux iovad->cached32_node
 	limit    uint64
+	arena    nodeArena
+	spare    []*node // nodes recycled by Free, reused by Alloc
 
 	// Statistics for tests and the experiment harness.
 	LastAllocVisits uint64
@@ -105,7 +107,14 @@ func (a *LinuxAllocator) Alloc(pages uint64) (uint64, error) {
 	}
 
 found:
-	n := &node{pfnLo: limit - pages + 1, pfnHi: limit}
+	var n *node
+	if len(a.spare) > 0 {
+		n = a.spare[len(a.spare)-1]
+		a.spare = a.spare[:len(a.spare)-1]
+	} else {
+		n = a.arena.get()
+	}
+	n.pfnLo, n.pfnHi = limit-pages+1, limit
 	a.t.insert(n)
 	// __cached_rbnode_insert_update: cache the new node (the caller's limit
 	// equals the dma-32bit limit for every allocation in this workload).
@@ -151,6 +160,7 @@ func (a *LinuxAllocator) Free(pfn uint64) error {
 		}
 	}
 	a.t.erase(n)
+	a.spare = append(a.spare, n)
 	a.clk.Charge(cycles.UnmapIOVAFree, a.model.RBEraseFixed+a.t.takeVisits()*a.model.RBNodeVisit)
 	return nil
 }

@@ -27,6 +27,24 @@ type node struct {
 	free         bool // ConstAllocator: range is on the free list, not live
 }
 
+// nodeArena hands out tree nodes in chunks, so steady allocation churn costs
+// one bump increment per node instead of one heap allocation. Nodes are never
+// returned to the arena; allocators that erase nodes recycle them directly.
+type nodeArena struct {
+	chunk []node
+}
+
+const arenaChunk = 64
+
+func (ar *nodeArena) get() *node {
+	if len(ar.chunk) == 0 {
+		ar.chunk = make([]node, arenaChunk)
+	}
+	n := &ar.chunk[0]
+	ar.chunk = ar.chunk[1:]
+	return n
+}
+
 // tree is an intrusive red-black tree of non-overlapping IOVA ranges, sorted
 // by pfnLo. It counts node touches so callers can charge cycle costs
 // proportional to the work the real kernel would do.

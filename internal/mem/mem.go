@@ -9,6 +9,7 @@ package mem
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 )
 
 // Architectural constants shared by the whole simulator (Intel x86-64 / VT-d).
@@ -63,15 +64,44 @@ type FaultHook interface {
 // PhysMem is a simulated physical memory with a simple page-frame allocator.
 // Frame 0 is reserved (so a zero PA can act as a null pointer in page
 // tables). PhysMem is not safe for concurrent use.
+//
+// The free list is lazy: frames at or above the watermark have never been
+// allocated and are handed out in ascending order without ever being
+// materialized in a slice, while the free stack holds only explicitly freed
+// frames. The observable allocation order is byte-identical to the eager
+// descending free list this replaces (the deterministic-layout test pins
+// it); the one operation whose legacy behavior a watermark cannot mirror —
+// reserving a specific never-allocated frame while freed frames exist —
+// materializes the full legacy list first and proceeds identically.
 type PhysMem struct {
-	data     []byte
-	frames   int
-	free     []PFN // LIFO free list
-	alloced  []bool
-	pinCount []uint32
+	data      []byte
+	frames    int
+	free      []PFN // LIFO stack of explicitly freed frames
+	watermark PFN   // lazy mode: lowest never-allocated frame
+	lazy      bool  // free list not materialized (the common case)
+	alloced   []bool
+	pinCount  []uint32
 
 	hook   FaultHook
 	poison map[uint64]struct{} // poisoned cacheline indices
+}
+
+// dataPool recycles backing arrays between PhysMem instances. Reuse is
+// observation-equivalent to a fresh zeroed array: every read/write path
+// checks that the touched frames are allocated, and AllocFrame/AllocFrames
+// zero each frame as it is handed out, so the stale bytes of a recycled
+// array are unreachable. Pooling exists because experiment and campaign
+// grids build one multi-megabyte world per cell, and zeroing those arrays
+// dominated the simulator's wall-clock time.
+var dataPool sync.Pool
+
+func getBacking(size uint64) []byte {
+	if v := dataPool.Get(); v != nil {
+		if b := v.([]byte); uint64(cap(b)) >= size {
+			return b[:size]
+		}
+	}
+	return make([]byte, size)
 }
 
 // New creates a physical memory of the given size in bytes, which must be a
@@ -82,19 +112,30 @@ func New(size uint64) (*PhysMem, error) {
 	}
 	frames := int(size / PageSize)
 	m := &PhysMem{
-		data:     make([]byte, size),
-		frames:   frames,
-		alloced:  make([]bool, frames),
-		pinCount: make([]uint32, frames),
+		data:      getBacking(size),
+		frames:    frames,
+		watermark: 1, // frame 0 is reserved
+		lazy:      true,
+		alloced:   make([]bool, frames),
+		pinCount:  make([]uint32, frames),
 	}
-	// Reserve frame 0; push the rest in descending order so frames are
-	// handed out from low addresses first (deterministic layout).
 	m.alloced[0] = true
-	m.free = make([]PFN, 0, frames-1)
-	for f := frames - 1; f >= 1; f-- {
-		m.free = append(m.free, PFN(f))
-	}
+	// Frame 0 is readable (it is marked allocated) but never handed out, so
+	// it must read as zeros even on a recycled backing array.
+	clear(m.data[:PageSize])
 	return m, nil
+}
+
+// Release returns the backing array to the shared pool so the next PhysMem
+// of comparable size skips the large-allocation zeroing cost. The PhysMem —
+// and every component holding it — must not be used afterwards. Releasing
+// is optional; an unreleased PhysMem is simply garbage-collected.
+func (m *PhysMem) Release() {
+	if m.data == nil {
+		return
+	}
+	dataPool.Put(m.data[:cap(m.data)])
+	m.data = nil
 }
 
 // SetFaultHook installs (or, with nil, removes) the fault-injection hook.
@@ -153,15 +194,35 @@ func (m *PhysMem) Size() uint64 { return uint64(len(m.data)) }
 func (m *PhysMem) Frames() int { return m.frames }
 
 // FreeFrames returns the number of currently unallocated frames.
-func (m *PhysMem) FreeFrames() int { return len(m.free) }
+func (m *PhysMem) FreeFrames() int {
+	if m.lazy {
+		return len(m.free) + m.frames - int(m.watermark)
+	}
+	return len(m.free)
+}
+
+// popFrame takes the next free frame in legacy order: the most recently
+// freed frame first, then never-allocated frames in ascending order.
+func (m *PhysMem) popFrame() (PFN, bool) {
+	if n := len(m.free); n > 0 {
+		f := m.free[n-1]
+		m.free = m.free[:n-1]
+		return f, true
+	}
+	if m.lazy && int(m.watermark) < m.frames {
+		f := m.watermark
+		m.watermark++
+		return f, true
+	}
+	return 0, false
+}
 
 // AllocFrame allocates one zeroed page frame.
 func (m *PhysMem) AllocFrame() (PFN, error) {
-	if len(m.free) == 0 {
+	f, ok := m.popFrame()
+	if !ok {
 		return 0, &AccessError{Op: "alloc", Why: "out of physical frames"}
 	}
-	f := m.free[len(m.free)-1]
-	m.free = m.free[:len(m.free)-1]
 	m.alloced[f] = true
 	base := uint64(f.PA())
 	clear(m.data[base : base+PageSize])
@@ -202,6 +263,20 @@ func (m *PhysMem) AllocFrames(n int) (PFN, error) {
 
 // takeFrame removes f from the free list and marks it allocated.
 func (m *PhysMem) takeFrame(f PFN) {
+	if m.lazy && f >= m.watermark {
+		if f == m.watermark && len(m.free) == 0 {
+			// Legacy list's last element is exactly the watermark frame, so
+			// the swap-remove degenerates to a pop.
+			m.watermark++
+			m.alloced[f] = true
+			return
+		}
+		// Reserving a never-allocated frame out of order perturbs the legacy
+		// list in a way a watermark cannot express; fall back to the eager
+		// representation (rare: a contiguous multi-frame allocation after
+		// frees, e.g. a device re-attach during recovery).
+		m.materialize()
+	}
 	for i, g := range m.free {
 		if g == f {
 			m.free[i] = m.free[len(m.free)-1]
@@ -210,6 +285,20 @@ func (m *PhysMem) takeFrame(f PFN) {
 		}
 	}
 	m.alloced[f] = true
+}
+
+// materialize converts the lazy free list into the legacy eager layout: the
+// never-allocated frames in descending order followed by the freed-frame
+// stack in push order. Pop and swap-remove then behave exactly as the
+// original implementation did.
+func (m *PhysMem) materialize() {
+	full := make([]PFN, 0, m.frames-int(m.watermark)+len(m.free))
+	for f := PFN(m.frames - 1); f >= m.watermark; f-- {
+		full = append(full, f)
+	}
+	full = append(full, m.free...)
+	m.free = full
+	m.lazy = false
 }
 
 // FreeFrame releases a previously allocated frame. Freeing a pinned or
@@ -331,8 +420,23 @@ func (m *PhysMem) Write(pa PA, src []byte) error {
 	return nil
 }
 
+// inFrameFast reports whether a width-byte access at pa stays inside one
+// allocated frame — the metadata fast path (page-table entries, rPTEs,
+// queue cursors are naturally aligned and never split pages). It subsumes
+// checkRange for such accesses: in-bounds, single frame, frame allocated.
+// Anything else (page-spanning, out of range) takes the legacy slow path.
+func (m *PhysMem) inFrameFast(pa PA, width uint64) bool {
+	i := uint64(pa)
+	return i&PageMask <= PageSize-width &&
+		i <= uint64(len(m.data))-width &&
+		m.alloced[i>>PageShift]
+}
+
 // ReadU64 reads a little-endian uint64 at pa.
 func (m *PhysMem) ReadU64(pa PA) (uint64, error) {
+	if m.inFrameFast(pa, 8) {
+		return binary.LittleEndian.Uint64(m.data[pa:]), nil
+	}
 	if err := m.checkRange("read", pa, 8); err != nil {
 		return 0, err
 	}
@@ -341,8 +445,10 @@ func (m *PhysMem) ReadU64(pa PA) (uint64, error) {
 
 // WriteU64 writes a little-endian uint64 at pa.
 func (m *PhysMem) WriteU64(pa PA, v uint64) error {
-	if err := m.checkRange("write", pa, 8); err != nil {
-		return err
+	if !m.inFrameFast(pa, 8) {
+		if err := m.checkRange("write", pa, 8); err != nil {
+			return err
+		}
 	}
 	binary.LittleEndian.PutUint64(m.data[pa:], v)
 	return nil
@@ -350,6 +456,9 @@ func (m *PhysMem) WriteU64(pa PA, v uint64) error {
 
 // ReadU32 reads a little-endian uint32 at pa.
 func (m *PhysMem) ReadU32(pa PA) (uint32, error) {
+	if m.inFrameFast(pa, 4) {
+		return binary.LittleEndian.Uint32(m.data[pa:]), nil
+	}
 	if err := m.checkRange("read", pa, 4); err != nil {
 		return 0, err
 	}
@@ -358,8 +467,10 @@ func (m *PhysMem) ReadU32(pa PA) (uint32, error) {
 
 // WriteU32 writes a little-endian uint32 at pa.
 func (m *PhysMem) WriteU32(pa PA, v uint32) error {
-	if err := m.checkRange("write", pa, 4); err != nil {
-		return err
+	if !m.inFrameFast(pa, 4) {
+		if err := m.checkRange("write", pa, 4); err != nil {
+			return err
+		}
 	}
 	binary.LittleEndian.PutUint32(m.data[pa:], v)
 	return nil

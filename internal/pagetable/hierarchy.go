@@ -26,6 +26,18 @@ type Hierarchy struct {
 	contextTables map[uint8]mem.PFN  // bus -> context table frame
 	spaces        map[pci.BDF]*Space // OS-side handle to the attached spaces
 	frames        []mem.PFN          // for teardown
+
+	// last caches the most recent successful Lookup. The fast path still
+	// re-reads both table entries from simulated memory and compares them to
+	// the cached values — table corruption is detected exactly as before —
+	// but it skips the map lookups and error-path formatting machinery.
+	last struct {
+		valid           bool
+		bdf             pci.BDF
+		rootPA, ctxPA   mem.PA // addresses of the two table entries
+		rootVal, ctxVal uint64 // values they held when the cache was filled
+		sp              *Space
+	}
 }
 
 // NewHierarchy allocates an empty root table.
@@ -46,6 +58,7 @@ func NewHierarchy(mm *mem.PhysMem) (*Hierarchy, error) {
 // Attach binds an address space to a device, creating the bus's context
 // table on demand.
 func (h *Hierarchy) Attach(bdf pci.BDF, space *Space) error {
+	h.last.valid = false // a reused root frame could alias the cached entry
 	if _, dup := h.spaces[bdf]; dup {
 		return fmt.Errorf("pagetable: device %s already attached", bdf)
 	}
@@ -73,6 +86,7 @@ func (h *Hierarchy) Attach(bdf pci.BDF, space *Space) error {
 
 // Detach unbinds a device. The address space itself is not destroyed.
 func (h *Hierarchy) Detach(bdf pci.BDF) error {
+	h.last.valid = false
 	if _, ok := h.spaces[bdf]; !ok {
 		return fmt.Errorf("pagetable: device %s not attached", bdf)
 	}
@@ -89,6 +103,17 @@ func (h *Hierarchy) Detach(bdf pci.BDF) error {
 // OS-side Space handle after verifying the in-memory tables agree with it,
 // so a corrupted table is detected rather than papered over.
 func (h *Hierarchy) Lookup(bdf pci.BDF) (*Space, error) {
+	if h.last.valid && h.last.bdf == bdf {
+		// Re-read and verify both entries; ReadU64 is side-effect-free, so
+		// on any mismatch or error falling through repeats the reads with
+		// byte-identical outcomes.
+		re, err1 := h.mm.ReadU64(h.last.rootPA)
+		ce, err2 := h.mm.ReadU64(h.last.ctxPA)
+		if err1 == nil && err2 == nil && re == h.last.rootVal && ce == h.last.ctxVal {
+			return h.last.sp, nil
+		}
+		h.last.valid = false
+	}
 	re, err := h.mm.ReadU64(h.root.PA() + mem.PA(int(bdf.Bus())*8))
 	if err != nil {
 		return nil, err
@@ -108,6 +133,12 @@ func (h *Hierarchy) Lookup(bdf pci.BDF) (*Space, error) {
 	if sp == nil || uint64(sp.Root().PA()) != ce&ctxAddr {
 		return nil, fmt.Errorf("pagetable: context entry for %s does not match attached space", bdf)
 	}
+	h.last.valid = true
+	h.last.bdf = bdf
+	h.last.rootPA = h.root.PA() + mem.PA(int(bdf.Bus())*8)
+	h.last.ctxPA = ct + mem.PA(int(bdf.DevFn())*8)
+	h.last.rootVal, h.last.ctxVal = re, ce
+	h.last.sp = sp
 	return sp, nil
 }
 
@@ -116,6 +147,7 @@ func (h *Hierarchy) Space(bdf pci.BDF) *Space { return h.spaces[bdf] }
 
 // Destroy frees the root and context table frames (not the attached spaces).
 func (h *Hierarchy) Destroy() error {
+	h.last.valid = false
 	for _, f := range h.frames {
 		if err := h.mm.FreeFrame(f); err != nil {
 			return err

@@ -276,3 +276,11 @@ func (s *System) ResetClocks() {
 	s.CPU.Reset()
 	s.Dev.Reset()
 }
+
+// Close releases the system's simulated memory backing array into the
+// shared pool (mem.PhysMem.Release), so the next cell of an experiment or
+// campaign grid skips the multi-megabyte zeroing that otherwise dominates
+// simulator wall-clock time. The system — and every driver, device, and
+// engine built on it — must not be used afterwards. Closing is optional:
+// an unclosed system is simply garbage-collected.
+func (s *System) Close() { s.Mem.Release() }

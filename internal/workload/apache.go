@@ -55,6 +55,7 @@ func Apache(mode sim.Mode, profile device.NICProfile, opts ApacheOpts) (Result, 
 	if err != nil {
 		return Result{}, err
 	}
+	defer sys.Close()
 	params := netstack.DefaultParams(profile)
 	// 32 concurrent connections: completion work is still burst-coalesced,
 	// though less deeply than a single saturating stream.

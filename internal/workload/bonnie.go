@@ -41,6 +41,7 @@ func Bonnie(mode sim.Mode, opts BonnieOpts) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	defer sys.Close()
 	prot, err := sys.ProtectionFor(SATABDF, []uint32{4, 256, 256})
 	if err != nil {
 		return Result{}, err

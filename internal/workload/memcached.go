@@ -46,6 +46,7 @@ func Memcached(mode sim.Mode, profile device.NICProfile, opts MemcachedOpts) (Re
 	if err != nil {
 		return Result{}, err
 	}
+	defer sys.Close()
 	params := netstack.DefaultParams(profile)
 	params.TxBurst = 64 // 32 concurrent clients coalesce completions
 	conn := netstack.NewConn(sys.CPU, fx.drv, params)

@@ -51,6 +51,7 @@ func NetperfStream(mode sim.Mode, profile device.NICProfile, opts StreamOpts) (R
 	if err != nil {
 		return Result{}, err
 	}
+	defer sys.Close()
 	params := netstack.DefaultParams(profile)
 	params.StackCyclesPerPacket += opts.ExtraCyclesPerPacket
 	if opts.TxBurst > 0 {
@@ -166,6 +167,7 @@ func NetperfRR(mode sim.Mode, profile device.NICProfile, opts RROpts) (Result, e
 	if err != nil {
 		return Result{}, err
 	}
+	defer sys.Close()
 	cal := rrCalibration(profile)
 	request := make([]byte, 64) // 1-byte payload in a minimum frame
 

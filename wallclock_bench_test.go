@@ -1,0 +1,282 @@
+package riommu
+
+// Wall-clock benchmarks of the simulator's hot paths, plus allocation
+// regression tests that pin those paths at zero allocations per operation.
+//
+// Unlike bench_test.go — whose ReportMetric columns are *virtual* cycles and
+// must stay byte-identical across optimizations — this file measures the
+// simulator itself: ns/op and allocs/op of the map/unmap flows, the radix
+// walk, the IOTLB hit path, and a whole campaign cell. The committed baseline
+// lives in BENCH_wallclock.txt; `make bench-wallclock` compares a fresh run
+// against it with cmd/benchdiff.
+//
+//	go test -run TestHotPathAllocs -bench 'MapUnmap|Walk|IOTLB|CampaignCell'
+
+import (
+	"testing"
+
+	"riommu/internal/campaign"
+	"riommu/internal/core"
+	"riommu/internal/cycles"
+	"riommu/internal/iommu"
+	"riommu/internal/iotlb"
+	"riommu/internal/iova"
+	"riommu/internal/mem"
+	"riommu/internal/pagetable"
+	"riommu/internal/pci"
+	"riommu/internal/sim"
+
+	baselinedrv "riommu/internal/baseline"
+)
+
+// newBaselineDriver builds a strict/defer-mode driver over fresh memory.
+func newBaselineDriver(b *testing.B, mode baselinedrv.Mode) (*baselinedrv.Driver, *mem.PhysMem) {
+	b.Helper()
+	mm := mustMem(b, 4096*mem.PageSize)
+	clk := &cycles.Clock{}
+	model := cycles.DefaultModel()
+	hier, err := pagetable.NewHierarchy(mm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hw := iommu.New(clk, &model, hier, 0)
+	drv, err := baselinedrv.New(mode, clk, &model, mm, hw, pci.NewBDF(0, 3, 0), false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return drv, mm
+}
+
+func benchMapUnmap(b *testing.B, mode baselinedrv.Mode) {
+	drv, mm := newBaselineDriver(b, mode)
+	f, _ := mm.AllocFrame()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		iovaAddr, err := drv.Map(0, f.PA(), 1500, pci.DirFromDevice)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := drv.Unmap(0, iovaAddr, 1500, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMapUnmapStrict times one strict-mode map+unmap pair (Figure 4 +
+// Figure 6 with inline per-entry invalidation).
+func BenchmarkMapUnmapStrict(b *testing.B) { benchMapUnmap(b, baselinedrv.Strict) }
+
+// BenchmarkMapUnmapDefer times the deferred-invalidation pair (bulk flush
+// every 250 unmaps amortized into the mean).
+func BenchmarkMapUnmapDefer(b *testing.B) { benchMapUnmap(b, baselinedrv.Defer) }
+
+// BenchmarkMapUnmapRiommu times the rIOMMU driver's map+unmap pair (flat
+// rPTE write, end-of-burst invalidation every 200 pairs).
+func BenchmarkMapUnmapRiommu(b *testing.B) {
+	mm := mustMem(b, 1024*mem.PageSize)
+	clk := &cycles.Clock{}
+	model := cycles.DefaultModel()
+	hw := core.New(clk, &model, mm)
+	drv, err := core.NewDriver(clk, &model, mm, hw, pci.NewBDF(0, 3, 0), []uint32{1024}, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, _ := mm.AllocFrame()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		iovaAddr, err := drv.Map(0, f.PA(), 1500, pci.DirFromDevice)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := drv.Unmap(0, iovaAddr, 0, i%200 == 199); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWalk times a warm 4-level radix walk (tables resident, IOTLB not
+// consulted) — the page-walker inner loop of the baseline miss path.
+func BenchmarkWalk(b *testing.B) {
+	mm := mustMem(b, 1024*mem.PageSize)
+	clk := &cycles.Clock{}
+	model := cycles.DefaultModel()
+	sp, err := pagetable.NewSpace(mm, clk, &model, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, _ := mm.AllocFrame()
+	const iovaAddr = 42 << mem.PageShift
+	if err := sp.Map(iovaAddr, f, pci.DirBidi); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sp.Walk(iovaAddr, pci.DirFromDevice); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIOTLB times the baseline IOMMU's translation hit path: IOTLB
+// lookup with LRU promotion, permission check, address composition.
+func BenchmarkIOTLB(b *testing.B) {
+	mm := mustMem(b, 1024*mem.PageSize)
+	clk := &cycles.Clock{}
+	model := cycles.DefaultModel()
+	hier, err := pagetable.NewHierarchy(mm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hw := iommu.New(clk, &model, hier, 0)
+	bdf := pci.NewBDF(0, 5, 0)
+	sp, err := pagetable.NewSpace(mm, clk, &model, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := hier.Attach(bdf, sp); err != nil {
+		b.Fatal(err)
+	}
+	f, _ := mm.AllocFrame()
+	const iovaAddr = 7 << mem.PageShift
+	if err := sp.Map(iovaAddr, f, pci.DirBidi); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := hw.Translate(bdf, iovaAddr, 64, pci.DirFromDevice); err != nil {
+		b.Fatal(err) // warm the entry
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hw.Translate(bdf, iovaAddr, 64, pci.DirFromDevice); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCampaignCell times one complete fault-campaign NIC cell — system
+// construction, supervised rounds, teardown — the unit the campaign grid and
+// CI chaos gate scale by.
+func BenchmarkCampaignCell(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opts := campaign.Options{
+			Seed:    42,
+			Rates:   []float64{0},
+			Modes:   []sim.Mode{sim.RIOMMU},
+			Rounds:  10,
+			Workers: 1,
+		}
+		if _, err := campaign.Run(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestHotPathAllocs pins the steady-state translation hot paths at zero
+// allocations per operation: a regression here silently costs wall-clock
+// across every experiment, so it hard-fails CI (satellite 3, PR 4).
+func TestHotPathAllocs(t *testing.T) {
+	t.Run("iotlb-hit", func(t *testing.T) {
+		tlb := iotlb.New(64)
+		key := iotlb.Key{BDF: pci.NewBDF(0, 3, 0), IOVAPFN: 7}
+		tlb.Insert(key, iotlb.Entry{Frame: 9, Perm: pci.DirBidi})
+		if n := testing.AllocsPerRun(200, func() {
+			if _, ok := tlb.Lookup(key); !ok {
+				t.Fatal("lookup missed")
+			}
+		}); n != 0 {
+			t.Errorf("IOTLB hit allocates %.1f objects per op, want 0", n)
+		}
+	})
+
+	t.Run("riotlb-hit", func(t *testing.T) {
+		mm, err := mem.New(1024 * mem.PageSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clk := &cycles.Clock{}
+		model := cycles.DefaultModel()
+		hw := core.New(clk, &model, mm)
+		bdf := pci.NewBDF(0, 3, 0)
+		drv, err := core.NewDriver(clk, &model, mm, hw, bdf, []uint32{64}, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, _ := mm.AllocFrame()
+		iovaAddr, err := drv.Map(0, f.PA(), 1500, pci.DirFromDevice)
+		if err != nil {
+			t.Fatal(err)
+		}
+		iv := core.IOVA(iovaAddr)
+		if _, err := hw.Rtranslate(bdf, iv, pci.DirFromDevice); err != nil {
+			t.Fatal(err) // warm the rIOTLB entry
+		}
+		if n := testing.AllocsPerRun(200, func() {
+			if _, err := hw.Rtranslate(bdf, iv, pci.DirFromDevice); err != nil {
+				t.Fatal(err)
+			}
+		}); n != 0 {
+			t.Errorf("rIOTLB hit allocates %.1f objects per op, want 0", n)
+		}
+	})
+
+	t.Run("warm-radix-walk", func(t *testing.T) {
+		mm, err := mem.New(1024 * mem.PageSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clk := &cycles.Clock{}
+		model := cycles.DefaultModel()
+		sp, err := pagetable.NewSpace(mm, clk, &model, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, _ := mm.AllocFrame()
+		const iovaAddr = 42 << mem.PageShift
+		if err := sp.Map(iovaAddr, f, pci.DirBidi); err != nil {
+			t.Fatal(err)
+		}
+		if n := testing.AllocsPerRun(200, func() {
+			if _, _, err := sp.Walk(iovaAddr, pci.DirFromDevice); err != nil {
+				t.Fatal(err)
+			}
+		}); n != 0 {
+			t.Errorf("warm radix walk allocates %.1f objects per op, want 0", n)
+		}
+	})
+
+	t.Run("iova-recycle", func(t *testing.T) {
+		clk := &cycles.Clock{}
+		model := cycles.DefaultModel()
+		for _, tc := range []struct {
+			name  string
+			alloc iova.Allocator
+		}{
+			{"const", iova.NewConst(clk, &model, iova.DMA32PFN-1)},
+			{"linux", iova.NewLinux(clk, &model, iova.DMA32PFN-1)},
+		} {
+			// Warm: the first alloc/free carves the range and sizes the
+			// recycle stacks; steady state must then be allocation-free.
+			pfn, err := tc.alloc.Alloc(1)
+			if err != nil {
+				t.Fatalf("%s: %v", tc.name, err)
+			}
+			if err := tc.alloc.Free(pfn); err != nil {
+				t.Fatalf("%s: %v", tc.name, err)
+			}
+			if n := testing.AllocsPerRun(200, func() {
+				p, err := tc.alloc.Alloc(1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := tc.alloc.Free(p); err != nil {
+					t.Fatal(err)
+				}
+			}); n != 0 {
+				t.Errorf("%s IOVA alloc/free recycle allocates %.1f objects per op, want 0", tc.name, n)
+			}
+		}
+	})
+}
