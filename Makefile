@@ -4,7 +4,9 @@ BENCH_GOLDEN ?= BENCH_golden.json
 BENCH_WALLCLOCK ?= BENCH_wallclock.txt
 WALLCLOCK_PATTERN ?= MapUnmap|Rtranslate|^BenchmarkWalk$$|^BenchmarkIOTLB$$|CampaignCell
 
-.PHONY: all build test tier1 vet fmt-check race ci ci-local fuzz fuzz-smoke bench-json bench-check bench-wallclock bench-wallclock-baseline alloc-check profile audit clean
+COVER_FLOOR ?= 75.0
+
+.PHONY: all build test tier1 vet fmt-check race ci ci-local cover equivalence fuzz fuzz-smoke bench-json bench-check bench-wallclock bench-wallclock-baseline alloc-check profile audit clean
 
 all: tier1
 
@@ -34,7 +36,25 @@ race:
 ci: build vet race
 
 # ci-local mirrors every gate of .github/workflows/ci.yml in one invocation.
-ci-local: build vet fmt-check test race fuzz-smoke bench-check alloc-check audit
+ci-local: build vet fmt-check test race equivalence fuzz-smoke bench-check alloc-check cover audit
+
+# equivalence runs the mode-equivalence property suite under the race
+# detector: every protection mode must produce byte-identical Tx/Rx payloads
+# and an identical protection-boundary mapping history for a seeded
+# multi-queue workload, with zero audit-oracle violations.
+equivalence:
+	$(GO) test -race -count=1 ./internal/check/
+
+# cover enforces the statement-coverage floor over internal/... (run with
+# -short so the slow multi-worker determinism sweeps don't dominate; they are
+# gated separately by `make race`). Refresh the floor deliberately, never
+# down: COVER_FLOOR=76.0 make cover.
+cover:
+	@$(GO) test -short -coverprofile=coverage.out ./internal/... > /dev/null
+	@total="$$($(GO) tool cover -func=coverage.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}')"; \
+	echo "total coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 >= f+0) ? 0 : 1 }' || { \
+		echo "coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; }
 
 # audit is the isolation gate: a quick audited chaos campaign (shadow
 # translation oracle + hostile device + circuit breaker) built with the race

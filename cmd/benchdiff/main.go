@@ -19,6 +19,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
@@ -35,7 +36,15 @@ type sample struct {
 	hasAllocs bool
 }
 
-func (s *sample) ns() float64 { return s.nsSum / float64(s.nsN) }
+// ns returns the mean ns/op, or 0 when the benchmark contributed no ns/op
+// samples at all (e.g. a line carrying only allocs/op) — 0/0 would otherwise
+// poison the whole delta column with NaN.
+func (s *sample) ns() float64 {
+	if s.nsN == 0 {
+		return 0
+	}
+	return s.nsSum / float64(s.nsN)
+}
 func (s *sample) allocs() float64 {
 	if s.allocsN == 0 {
 		return 0
@@ -94,11 +103,58 @@ func parse(path string) (map[string]*sample, error) {
 	return out, sc.Err()
 }
 
+// pct is the relative change in percent. A zero "before" mean (an
+// instantaneous or sample-less benchmark) yields 0 rather than ±Inf/NaN: a
+// baseline of zero can't express a meaningful ratio, and the absolute
+// columns next to it tell the real story.
 func pct(before, after float64) float64 {
 	if before == 0 {
 		return 0
 	}
 	return (after - before) / before * 100
+}
+
+// diff renders the per-benchmark comparison table to w and reports whether
+// any gate tripped: ns/op regressions beyond failOver percent (0 disables),
+// or any allocs/op increase.
+func diff(w io.Writer, old, cur map[string]*sample, failOver float64) bool {
+	names := make([]string, 0, len(old))
+	for n := range old {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return old[names[i]].order < old[names[j]].order })
+
+	fmt.Fprintf(w, "%-34s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	failed := false
+	for _, n := range names {
+		o, c := old[n], cur[n]
+		if c == nil {
+			fmt.Fprintf(w, "%-34s %14.1f %14s %9s\n", n, o.ns(), "-", "gone")
+			continue
+		}
+		d := pct(o.ns(), c.ns())
+		mark := ""
+		if failOver > 0 && d > failOver {
+			mark = "  REGRESSION"
+			failed = true
+		}
+		fmt.Fprintf(w, "%-34s %14.1f %14.1f %+8.1f%%%s\n", n, o.ns(), c.ns(), d, mark)
+		if o.hasAllocs && c.hasAllocs && c.allocs() > o.allocs() {
+			fmt.Fprintf(w, "%-34s %14.1f %14.1f allocs/op  ALLOC REGRESSION\n", "  └ allocs", o.allocs(), c.allocs())
+			failed = true
+		}
+	}
+	newNames := make([]string, 0, len(cur))
+	for n := range cur {
+		if old[n] == nil {
+			newNames = append(newNames, n)
+		}
+	}
+	sort.Slice(newNames, func(i, j int) bool { return cur[newNames[i]].order < cur[newNames[j]].order })
+	for _, n := range newNames {
+		fmt.Fprintf(w, "%-34s %14s %14.1f %9s\n", n, "-", cur[n].ns(), "new")
+	}
+	return failed
 }
 
 func main() {
@@ -123,38 +179,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	names := make([]string, 0, len(old))
-	for n := range old {
-		names = append(names, n)
-	}
-	sort.Slice(names, func(i, j int) bool { return old[names[i]].order < old[names[j]].order })
-
-	fmt.Printf("%-34s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
-	failed := false
-	for _, n := range names {
-		o, c := old[n], cur[n]
-		if c == nil {
-			fmt.Printf("%-34s %14.1f %14s %9s\n", n, o.ns(), "-", "gone")
-			continue
-		}
-		d := pct(o.ns(), c.ns())
-		mark := ""
-		if *failOver > 0 && d > *failOver {
-			mark = "  REGRESSION"
-			failed = true
-		}
-		fmt.Printf("%-34s %14.1f %14.1f %+8.1f%%%s\n", n, o.ns(), c.ns(), d, mark)
-		if o.hasAllocs && c.hasAllocs && c.allocs() > o.allocs() {
-			fmt.Printf("%-34s %14.1f %14.1f allocs/op  ALLOC REGRESSION\n", "  └ allocs", o.allocs(), c.allocs())
-			failed = true
-		}
-	}
-	for n, c := range cur {
-		if old[n] == nil {
-			fmt.Printf("%-34s %14s %14.1f %9s\n", n, "-", c.ns(), "new")
-		}
-	}
-	if failed {
+	if diff(os.Stdout, old, cur, *failOver) {
 		fmt.Fprintln(os.Stderr, "benchdiff: regressions detected")
 		os.Exit(1)
 	}

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBench(t *testing.T, lines ...string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "bench.txt")
+	if err := os.WriteFile(p, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParseStripsGOMAXPROCSAndAverages(t *testing.T) {
+	p := writeBench(t,
+		"goos: linux",
+		"BenchmarkWalk-8   1000   30.0 ns/op   0 B/op   2 allocs/op",
+		"BenchmarkWalk-8   1000   50.0 ns/op   0 B/op   2 allocs/op",
+		"BenchmarkOther    1000   10.0 ns/op",
+		"PASS",
+	)
+	got, err := parse(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := got["BenchmarkWalk"]
+	if w == nil {
+		t.Fatal("BenchmarkWalk not found (GOMAXPROCS suffix not stripped?)")
+	}
+	if w.ns() != 40.0 {
+		t.Errorf("mean ns/op = %g, want 40", w.ns())
+	}
+	if !w.hasAllocs || w.allocs() != 2 {
+		t.Errorf("allocs = %g (hasAllocs=%v), want 2", w.allocs(), w.hasAllocs)
+	}
+	if got["BenchmarkOther"] == nil || got["BenchmarkOther"].hasAllocs {
+		t.Error("BenchmarkOther missing or wrongly marked hasAllocs")
+	}
+}
+
+// TestZeroOldMeanNoNaN is the regression test for the divide-by-zero: a 0
+// ns/op old mean, and an old line that carries no ns/op pair at all, must
+// both render finite values and must not trip the gate.
+func TestZeroOldMeanNoNaN(t *testing.T) {
+	oldP := writeBench(t,
+		"BenchmarkInstant-8   1000000000   0 ns/op",
+		"BenchmarkAllocOnly   1000   3 allocs/op",
+	)
+	newP := writeBench(t,
+		"BenchmarkInstant-8   1000   12.5 ns/op",
+		"BenchmarkAllocOnly   1000   3 allocs/op",
+	)
+	old, err := parse(oldP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ao := old["BenchmarkAllocOnly"]; ao == nil || ao.nsN != 0 {
+		t.Fatal("test premise broken: BenchmarkAllocOnly should parse with nsN == 0")
+	}
+	if got := old["BenchmarkAllocOnly"].ns(); got != 0 || math.IsNaN(got) {
+		t.Errorf("ns() with no samples = %v, want 0", got)
+	}
+	cur, err := parse(newP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if failed := diff(&buf, old, cur, 5); failed {
+		t.Errorf("zero-baseline delta tripped the gate:\n%s", buf.String())
+	}
+	out := buf.String()
+	for _, bad := range []string{"NaN", "Inf"} {
+		if strings.Contains(out, bad) {
+			t.Errorf("report contains %s:\n%s", bad, out)
+		}
+	}
+}
+
+func TestDiffRegressionGate(t *testing.T) {
+	oldP := writeBench(t, "BenchmarkHot   1000   100 ns/op")
+	newP := writeBench(t, "BenchmarkHot   1000   120 ns/op")
+	old, _ := parse(oldP)
+	cur, _ := parse(newP)
+
+	var buf bytes.Buffer
+	if !diff(&buf, old, cur, 10) {
+		t.Error("20%% slowdown with -fail-over 10 did not fail")
+	}
+	if !strings.Contains(buf.String(), "REGRESSION") {
+		t.Errorf("failing report lacks REGRESSION marker:\n%s", buf.String())
+	}
+	buf.Reset()
+	if diff(&buf, old, cur, 25) {
+		t.Error("20%% slowdown with -fail-over 25 failed")
+	}
+	buf.Reset()
+	if diff(&buf, old, cur, 0) {
+		t.Error("informational mode (fail-over 0) failed")
+	}
+}
+
+func TestDiffAllocGateAndMissingBenchmarks(t *testing.T) {
+	oldP := writeBench(t,
+		"BenchmarkMap   1000   50 ns/op   0 allocs/op",
+		"BenchmarkGone  1000   10 ns/op",
+	)
+	newP := writeBench(t,
+		"BenchmarkMap   1000   50 ns/op   1 allocs/op",
+		"BenchmarkNew   1000   20 ns/op",
+	)
+	old, _ := parse(oldP)
+	cur, _ := parse(newP)
+	var buf bytes.Buffer
+	if !diff(&buf, old, cur, 0) {
+		t.Error("allocs/op increase did not fail even in informational mode")
+	}
+	out := buf.String()
+	if !strings.Contains(out, "ALLOC REGRESSION") {
+		t.Errorf("report lacks ALLOC REGRESSION:\n%s", out)
+	}
+	if !strings.Contains(out, "gone") || !strings.Contains(out, "new") {
+		t.Errorf("one-sided benchmarks not listed:\n%s", out)
+	}
+}

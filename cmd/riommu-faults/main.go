@@ -9,6 +9,11 @@
 //
 //	riommu-faults [-seed N] [-rates r1,r2,...] [-modes m1,m2,...] [-rounds N]
 //	              [-parallel N] [-json FILE] [-audit] [-chaos s1,s2,...|all]
+//	              [-cores n1,n2,...]
+//
+// -cores adds multi-queue scale-out cells: for each width > 1, every mode x
+// rate combination soaks an MQNIC with that many queue pairs under one
+// supervised recovery domain (the port recovers as a unit).
 //
 // -audit installs the shadow translation oracle in every cell: an
 // independent record of the live mappings that verifies each DMA the
@@ -83,6 +88,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		jsonOut  = fs.String("json", "", "write the machine-readable per-cell report to this file")
 		auditOn  = fs.Bool("audit", false, "install the shadow translation oracle and enforce the isolation gate")
 		chaosArg = fs.String("chaos", "", "comma-separated hostile-device scenarios, or \"all\" (implies -audit)")
+		coresArg = fs.String("cores", "", "comma-separated multi-queue scale-out widths (e.g. \"2,4\"); adds mode x rate cells on an MQNIC with that many queue pairs")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile (runtime/pprof) to this file")
 		memProf  = fs.String("memprofile", "", "write an allocs heap profile to this file on exit")
 	)
@@ -122,6 +128,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		*auditOn = true // hostile cells are meaningless without the oracle
 	}
+	cores, err := campaign.ParseCores(*coresArg)
+	if err != nil {
+		fmt.Fprintln(stderr, "riommu-faults:", err)
+		return 2
+	}
 
 	opts := campaign.Options{
 		Seed:    *seed,
@@ -131,6 +142,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Workers: parallel.Workers(*workers),
 		Audit:   *auditOn,
 		Chaos:   scenarios,
+		Cores:   cores,
 	}
 	res, err := campaign.Run(opts)
 	if parallel.Interrupted() {

@@ -68,6 +68,25 @@ func ParseModes(s string) ([]sim.Mode, error) {
 	return out, nil
 }
 
+// ParseCores parses a comma-separated list of scale-out widths ("" → none).
+func ParseCores(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("bad cores value %q: %w", f, err)
+		}
+		if n < 2 || n > 64 {
+			return nil, fmt.Errorf("cores %d out of [2,64]", n)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
 // ParseRates parses a comma-separated list of per-opportunity fault rates.
 func ParseRates(s string) ([]float64, error) {
 	var out []float64
@@ -99,6 +118,11 @@ type Options struct {
 	// Chaos appends hostile-device cells: each scenario runs against every
 	// ChaosModes mode. Chaos cells are always audited.
 	Chaos []chaos.Scenario
+	// Cores appends multi-queue scale-out cells: for each entry > 1, every
+	// mode × rate runs against an MQNIC with that many queue pairs (one
+	// supervised recovery domain for the whole port). Legacy single-queue
+	// cells are untouched.
+	Cores []int
 }
 
 // Key identifies one campaign cell.
@@ -111,10 +135,17 @@ type Key struct {
 	Clean bool
 	// Scenario marks a hostile-device chaos cell (empty otherwise).
 	Scenario string
+	// Cores marks a multi-queue scale-out cell (0 for the legacy
+	// single-queue cells, so their identities — and hence per-cell seeds —
+	// are unchanged).
+	Cores int
 }
 
 // String is the cell's stable identity; per-cell seeds derive from it.
 func (k Key) String() string {
+	if k.Cores > 1 {
+		return fmt.Sprintf("%s/%s/cores=%d/r=%g", k.Device, k.Mode, k.Cores, k.Rate)
+	}
 	if k.Scenario != "" {
 		return fmt.Sprintf("%s/%s/chaos=%s", k.Device, k.Mode, k.Scenario)
 	}
@@ -184,6 +215,16 @@ func (o Options) Grid() []Key {
 			}
 		}
 	}
+	for _, cores := range o.Cores {
+		if cores <= 1 {
+			continue
+		}
+		for _, m := range o.Modes {
+			for _, r := range o.Rates {
+				keys = append(keys, Key{Device: "nic", Mode: m, Rate: r, Cores: cores})
+			}
+		}
+	}
 	for _, sc := range o.Chaos {
 		for _, m := range ChaosModes {
 			keys = append(keys, Key{Device: "nic", Mode: m, Scenario: string(sc)})
@@ -215,6 +256,8 @@ func Run(opts Options) (Result, error) {
 		switch {
 		case k.Scenario != "":
 			c, err = chaosCell(k.Mode, chaos.Scenario(k.Scenario), seed, opts.Rounds)
+		case k.Cores > 1:
+			c, err = mqCell(k.Mode, seed, rate, opts.Rounds, k.Cores, opts.Audit)
 		case k.Device == "nic":
 			c, err = nicCell(k.Mode, seed, rate, opts.Rounds, opts.Audit)
 		default:
@@ -301,6 +344,73 @@ func nicCell(mode sim.Mode, seed uint64, rate float64, rounds int, audited bool)
 		c.ByClass[cl.String()] = f.Count(cl)
 	}
 	pkts := nic.TxPackets + nic.RxPackets
+	if pkts > 0 {
+		c.CyclesPerOp = float64(sys.CPU.Now()) / float64(pkts)
+		c.Gbps = perfmodel.Gbps(sys.Model, c.CyclesPerOp, device.ProfileBRCM.LineRateGbps)
+	}
+	recordAudit(&c, sys.Auditor, pkts)
+	return c, nil
+}
+
+// mqCell soaks a supervised multi-queue NIC: `cores` queue pairs sharing
+// one device identity, protection domain, and recovery domain (the port
+// resets as a unit). Each round sprays one payload per queue round-robin,
+// drains every transmit path, and delivers return traffic on every queue.
+func mqCell(mode sim.Mode, seed uint64, rate float64, rounds, cores int, audited bool) (CellMetrics, error) {
+	sys, err := sim.NewSystem(mode, 1<<15)
+	if err != nil {
+		return CellMetrics{}, err
+	}
+	defer sys.Close()
+	f := sys.EnableFaults(faults.UniformConfig(seed, rate))
+	if audited {
+		sys.EnableAudit()
+	}
+	mq, err := sys.AttachMQNIC(device.ProfileBRCM, nicBDF, cores)
+	if err != nil {
+		return CellMetrics{}, err
+	}
+	sup := sys.Supervise(nicBDF, mq)
+	payload := make([]byte, 1024)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	for round := 0; round < rounds; round++ {
+		_ = sup.Do(func() error {
+			for q := 0; q < cores; q++ {
+				if err := mq.Send(payload); err != nil {
+					return err
+				}
+			}
+			if _, err := mq.PumpAndReapAll(); err != nil {
+				return err
+			}
+			for q := 0; q < cores; q++ {
+				if err := mq.Deliver(q, payload); err != nil {
+					return err
+				}
+			}
+			_, err := mq.ReapRxAll()
+			return err
+		})
+		if _, err := sup.Watch(); err != nil {
+			return CellMetrics{}, fmt.Errorf("watchdog recovery failed: %w", err)
+		}
+	}
+	c := CellMetrics{
+		Injected:       f.TotalInjected(),
+		Recovery:       sup.Stats,
+		RecoveryCycles: sys.CPU.Total(cycles.Recovery),
+		ByClass:        map[string]uint64{},
+	}
+	for _, cl := range faults.Classes() {
+		c.ByClass[cl.String()] = f.Count(cl)
+	}
+	var pkts uint64
+	for q := 0; q < cores; q++ {
+		nic := mq.NIC(q)
+		pkts += nic.TxPackets + nic.RxPackets
+	}
 	if pkts > 0 {
 		c.CyclesPerOp = float64(sys.CPU.Now()) / float64(pkts)
 		c.Gbps = perfmodel.Gbps(sys.Model, c.CyclesPerOp, device.ProfileBRCM.LineRateGbps)
@@ -600,7 +710,7 @@ func (r Result) Render() string {
 	nicTab.AlignLeft(0)
 	var byClass stats.Counters
 	for i, k := range r.Keys {
-		if k.Device != "nic" || k.Clean {
+		if k.Device != "nic" || k.Clean || k.Cores > 1 {
 			continue
 		}
 		c := r.Cells[i]
@@ -634,6 +744,31 @@ func (r Result) Render() string {
 			c.Recovery.Unrecovered, c.RecoveryCycles, c.CyclesPerOp)
 	}
 	b.WriteString(blkTab.String())
+
+	hasCores := false
+	for _, k := range r.Keys {
+		if k.Cores > 1 {
+			hasCores = true
+			break
+		}
+	}
+	if hasCores {
+		mqTab := stats.NewTable(
+			fmt.Sprintf("NIC scale-out campaign — %s multi-queue, %d rounds/cell", device.ProfileBRCM.Name, r.Opts.Rounds),
+			"mode", "cores", "rate", "injected", "recov", "retries", "wdog", "unrec", "cyc/pkt", "Gbps")
+		mqTab.AlignLeft(0)
+		for i, k := range r.Keys {
+			if k.Cores <= 1 {
+				continue
+			}
+			c := r.Cells[i]
+			mqTab.Row(k.Mode.String(), k.Cores, fmt.Sprintf("%g", k.Rate), c.Injected,
+				c.Recovery.Recoveries, c.Recovery.Retries, c.Recovery.WatchdogFires,
+				c.Recovery.Unrecovered, c.CyclesPerOp, c.Gbps)
+		}
+		b.WriteByte('\n')
+		b.WriteString(mqTab.String())
+	}
 
 	hasChaos := false
 	for _, k := range r.Keys {

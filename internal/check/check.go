@@ -1,0 +1,166 @@
+// Package check is the mode-equivalence property layer: every protection
+// mode is supposed to change *how* DMA is protected and *what it costs*,
+// never what data moves or which mappings the OS asks for. For a seeded
+// workload the package captures, per mode:
+//
+//   - every Rx frame delivered upstream and every Tx payload that reached
+//     the wire (byte-exact), and
+//   - the mapping history at the driver.Protection boundary — the ordered
+//     (op, ring, size, direction, end-of-burst) sequence the protection
+//     layer was asked to establish; the same events the audit oracle
+//     observes, minus the mode-specific IOVA/PA values.
+//
+// Two modes are equivalent iff both records match byte for byte. The audit
+// oracle additionally runs in every protected mode and must report zero
+// violations (no hostile device is present).
+package check
+
+import (
+	"fmt"
+
+	"riommu/internal/device"
+	"riommu/internal/driver"
+	"riommu/internal/mem"
+	"riommu/internal/pci"
+	"riommu/internal/sim"
+)
+
+// MapEvent is one recorded protection-boundary operation.
+type MapEvent struct {
+	Op   byte // 'M' (Map) or 'U' (Unmap)
+	Ring int
+	Size uint32
+	Dir  pci.Dir
+	EOB  bool // Unmap only: end-of-burst flag
+}
+
+// recorder decorates a driver.Protection, appending every successful call
+// to the trace. IOVAs and physical addresses are deliberately not recorded:
+// they are mode-specific (rIOVAs encode ring/entry, baseline IOVAs come
+// from the allocator), while the call sequence itself must not be.
+type recorder struct {
+	inner  driver.Protection
+	events *[]MapEvent
+}
+
+func (r recorder) Map(ring int, pa mem.PA, size uint32, dir pci.Dir) (uint64, error) {
+	iova, err := r.inner.Map(ring, pa, size, dir)
+	if err == nil {
+		*r.events = append(*r.events, MapEvent{Op: 'M', Ring: ring, Size: size, Dir: dir})
+	}
+	return iova, err
+}
+
+func (r recorder) Unmap(ring int, iova uint64, size uint32, endOfBurst bool) error {
+	err := r.inner.Unmap(ring, iova, size, endOfBurst)
+	if err == nil {
+		// Dir stays zero: the Protection interface does not carry a
+		// direction on unmap.
+		*r.events = append(*r.events, MapEvent{Op: 'U', Ring: ring, Size: size, EOB: endOfBurst})
+	}
+	return err
+}
+
+// Trace is everything a workload run produced that must be mode-invariant.
+type Trace struct {
+	TxFrames [][]byte
+	RxFrames [][]byte
+	Events   []MapEvent
+	// AuditViolations is the oracle's verdict (0 expected; always 0 in the
+	// unprotected modes, where the oracle passes through).
+	AuditViolations uint64
+}
+
+// Config seeds one equivalence workload.
+type Config struct {
+	Profile device.NICProfile
+	Queues  int
+	Rounds  int
+	Seed    uint64
+}
+
+var equivBDF = pci.NewBDF(0, 3, 0)
+
+// splitmix64 is the per-step payload RNG (same construction as
+// parallel.CellSeed's mixer, self-contained here).
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func payload(rng *uint64, n int) []byte {
+	b := make([]byte, n)
+	for i := 0; i < n; i += 8 {
+		v := splitmix64(rng)
+		for j := 0; j < 8 && i+j < n; j++ {
+			b[i+j] = byte(v >> (8 * j))
+		}
+	}
+	return b
+}
+
+// RunWorkload drives the seeded multi-queue workload in one mode and
+// returns its trace: round-robin transmits (pumped one packet at a time so
+// every wire payload is captured), periodic inbound frames with coalesced
+// Rx reaps, and a full teardown so trailing unmaps are recorded too.
+func RunWorkload(mode sim.Mode, cfg Config) (Trace, error) {
+	var tr Trace
+	sys, err := sim.NewSystemScaled(mode, 1<<13, cfg.Profile.CostScale)
+	if err != nil {
+		return tr, err
+	}
+	defer sys.Close()
+	sys.EnableAudit()
+
+	prot, err := sys.ProtectionFor(equivBDF, driver.RIOMMURingSizesQ(cfg.Profile, cfg.Queues))
+	if err != nil {
+		return tr, err
+	}
+	mq, err := driver.NewMQNIC(sys.Mem, recorder{inner: prot, events: &tr.Events},
+		sys.Eng, cfg.Profile, equivBDF, cfg.Queues)
+	if err != nil {
+		return tr, err
+	}
+	for q := 0; q < cfg.Queues; q++ {
+		mq.NIC(q).CaptureTx = true
+	}
+
+	rng := cfg.Seed
+	for round := 0; round < cfg.Rounds; round++ {
+		q := round % cfg.Queues
+		n := 64 + int(splitmix64(&rng)%1200)
+		if err := mq.Send(payload(&rng, n)); err != nil {
+			return tr, fmt.Errorf("round %d send: %w", round, err)
+		}
+		if _, err := mq.Queues[q].PumpTx(1); err != nil {
+			return tr, fmt.Errorf("round %d pump: %w", round, err)
+		}
+		tr.TxFrames = append(tr.TxFrames, append([]byte(nil), mq.NIC(q).LastTx...))
+		if _, err := mq.Queues[q].ReapTx(); err != nil {
+			return tr, fmt.Errorf("round %d reap: %w", round, err)
+		}
+		if round%3 == 2 {
+			frame := payload(&rng, 60+int(splitmix64(&rng)%900))
+			if err := mq.Deliver(q, frame); err != nil {
+				return tr, fmt.Errorf("round %d deliver: %w", round, err)
+			}
+			frames, err := mq.ReapRxAll()
+			if err != nil {
+				return tr, fmt.Errorf("round %d rx reap: %w", round, err)
+			}
+			for _, f := range frames {
+				tr.RxFrames = append(tr.RxFrames, append([]byte(nil), f...))
+			}
+		}
+	}
+	if err := mq.Teardown(); err != nil {
+		return tr, fmt.Errorf("teardown: %w", err)
+	}
+	if sys.Auditor != nil {
+		tr.AuditViolations = sys.Auditor.Violations
+	}
+	return tr, nil
+}

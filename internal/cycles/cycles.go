@@ -36,6 +36,7 @@ const (
 	App                             // application-level processing (Apache, Memcached)
 	DeviceSide                      // device/IOMMU-side work (tracked, not throughput-gating)
 	Recovery                        // fault handling: retries, watchdog resets, degradation
+	LockContention                  // multi-core: spinlock acquire + backoff on shared structures
 	numComponents
 )
 
@@ -52,6 +53,7 @@ var componentNames = [...]string{
 	App:            "app",
 	DeviceSide:     "device-side",
 	Recovery:       "recovery",
+	LockContention: "lock-contention",
 }
 
 // String returns the stable human-readable name of the component.
@@ -133,6 +135,17 @@ func (c *Clock) Snapshot() Snapshot {
 	copy(s.ByComponent[:], c.byComp[:])
 	copy(s.Charges[:], c.charges[:])
 	return s
+}
+
+// Restore overwrites the clock's entire accounting state with a previously
+// captured snapshot. Together with Snapshot it lets a scheduler multiplex one
+// physical Clock across several virtual cores: save the outgoing core's
+// state, restore the incoming core's, and every component keeps charging the
+// same *Clock pointer it was built with.
+func (c *Clock) Restore(s Snapshot) {
+	c.now = s.Now
+	copy(c.byComp[:], s.ByComponent[:])
+	copy(c.charges[:], s.Charges[:])
 }
 
 // Snapshot is an immutable copy of a Clock's accounting state.

@@ -1,0 +1,89 @@
+package driver
+
+import (
+	"testing"
+
+	"riommu/internal/core"
+	"riommu/internal/cycles"
+	"riommu/internal/device"
+	"riommu/internal/dma"
+	"riommu/internal/mem"
+)
+
+// isPow2 reports whether v is a power of two.
+func isPow2(v uint32) bool { return v != 0 && v&(v-1) == 0 }
+
+// FuzzMQNICRingLayout fuzzes the multi-queue flat-table layout against its
+// invariants: queue q's Rx/Tx ring IDs never collide (with each other, with
+// another queue's, or with the static table 0), every dynamic table size is
+// the power-of-two 2*entries*buffersPerPacket the rIOTLB-friendly layout
+// requires, and the whole geometry round-trips through real driver setup —
+// a core.Driver over the generated sizes plus an MQNIC that tears down
+// cleanly.
+func FuzzMQNICRingLayout(f *testing.F) {
+	f.Add(uint8(1), uint8(0), uint8(0), false)
+	f.Add(uint8(4), uint8(1), uint8(2), true)
+	f.Add(uint8(8), uint8(2), uint8(0), true)
+	f.Add(uint8(16), uint8(2), uint8(2), false)
+	f.Fuzz(func(t *testing.T, queuesRaw, rxExp, txExp uint8, mlx bool) {
+		queues := 1 + int(queuesRaw)%8
+		profile := device.ProfileBRCM
+		if mlx {
+			profile = device.ProfileMLX
+		}
+		profile.RxEntries = 64 << (rxExp % 3) // 64, 128, 256
+		profile.TxEntries = 64 << (txExp % 3)
+
+		sizes := RIOMMURingSizesQ(profile, queues)
+		if len(sizes) != 1+2*queues {
+			t.Fatalf("len(sizes) = %d, want %d", len(sizes), 1+2*queues)
+		}
+		if sizes[0] != uint32(2+2*queues) {
+			t.Fatalf("static table size = %d, want %d", sizes[0], 2+2*queues)
+		}
+		seen := map[int]bool{0: true}
+		for q := 0; q < queues; q++ {
+			rx, tx := queueRingRx(q), queueRingTx(q)
+			for _, id := range []int{rx, tx} {
+				if id <= 0 || id >= len(sizes) {
+					t.Fatalf("queue %d ring id %d outside table range [1,%d)", q, id, len(sizes))
+				}
+				if seen[id] {
+					t.Fatalf("queue %d ring id %d collides with an earlier table", q, id)
+				}
+				seen[id] = true
+			}
+			wantRx := 2 * profile.RxEntries * uint32(profile.BuffersPerPacket)
+			wantTx := 2 * profile.TxEntries * uint32(profile.BuffersPerPacket)
+			if sizes[rx] != wantRx || sizes[tx] != wantTx {
+				t.Fatalf("queue %d sizes = (%d, %d), want (%d, %d)", q, sizes[rx], sizes[tx], wantRx, wantTx)
+			}
+			if !isPow2(sizes[rx]) || !isPow2(sizes[tx]) {
+				t.Fatalf("queue %d table sizes (%d, %d) not powers of two", q, sizes[rx], sizes[tx])
+			}
+		}
+
+		// Round-trip: the generated layout must build a working rIOMMU
+		// driver and a full multi-queue NIC (rings allocated, Rx filled),
+		// then tear down without leaking a mapping.
+		mm, err := mem.New(1 << 14 * mem.PageSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer mm.Release()
+		clk := &cycles.Clock{}
+		model := cycles.DefaultModel()
+		hw := core.New(clk, &model, mm)
+		drv, err := core.NewDriver(clk, &model, mm, hw, bdf, sizes, true)
+		if err != nil {
+			t.Fatalf("core.NewDriver(%v): %v", sizes, err)
+		}
+		mq, err := NewMQNIC(mm, drv, dma.NewEngine(mm, hw), profile, bdf, queues)
+		if err != nil {
+			t.Fatalf("NewMQNIC(queues=%d): %v", queues, err)
+		}
+		if err := mq.Teardown(); err != nil {
+			t.Fatalf("teardown: %v", err)
+		}
+	})
+}

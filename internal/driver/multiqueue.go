@@ -101,6 +101,31 @@ func (m *MQNIC) ReapRxAll() ([][]byte, error) {
 	return frames, nil
 }
 
+// Recover reinitializes every queue pair in order — the OS response to a
+// device-level fault on a multi-queue NIC resets the whole port, not a
+// single channel. The first queue that fails to recover aborts (the device
+// is left for the supervisor's next escalation step). Implements
+// driver.Recoverable, so an MQNIC can run under a Supervisor like the
+// single-queue drivers.
+func (m *MQNIC) Recover() error {
+	for q, drv := range m.Queues {
+		if err := drv.Recover(); err != nil {
+			return fmt.Errorf("driver: queue %d recover: %w", q, err)
+		}
+	}
+	return nil
+}
+
+// Progress sums forward progress across all queues (Recoverable's hang
+// signal: the watchdog sees the port wedged only if every queue is stuck).
+func (m *MQNIC) Progress() uint64 {
+	var total uint64
+	for _, drv := range m.Queues {
+		total += drv.Progress()
+	}
+	return total
+}
+
 // Teardown releases every queue.
 func (m *MQNIC) Teardown() error {
 	var lastErr error

@@ -1,0 +1,159 @@
+package multicore
+
+import (
+	"reflect"
+	"testing"
+
+	"riommu/internal/cycles"
+	"riommu/internal/device"
+	"riommu/internal/sim"
+)
+
+func TestLockUncontendedChargesAcquireOnly(t *testing.T) {
+	clk := &cycles.Clock{}
+	l := NewLock(LockParams{AcquireCycles: 40, BackoffBase: 50, BackoffMax: 3200})
+	l.Acquire(clk)
+	if got := clk.Now(); got != 40 {
+		t.Fatalf("uncontended acquire charged %d cycles, want 40", got)
+	}
+	clk.Charge(cycles.MapOther, 100)
+	l.Release(clk)
+	if l.Stats.Contended != 0 || l.Stats.WaitCycles != 0 {
+		t.Fatalf("uncontended acquire recorded contention: %+v", l.Stats)
+	}
+	if l.Stats.HeldCycles != 100 {
+		t.Fatalf("held cycles = %d, want 100", l.Stats.HeldCycles)
+	}
+}
+
+func TestLockContendedSpinsPastRelease(t *testing.T) {
+	a, b := &cycles.Clock{}, &cycles.Clock{}
+	l := NewLock(LockParams{AcquireCycles: 10, BackoffBase: 16, BackoffMax: 64})
+
+	// Core A holds the lock from t=10 to t=1010.
+	l.Acquire(a)
+	a.Charge(cycles.MapOther, 1000)
+	l.Release(a)
+
+	// Core B, still at t=0, must spin past A's release at t=1010.
+	l.Acquire(b)
+	if b.Now() < 1010 {
+		t.Fatalf("contended acquirer's clock %d did not pass release point 1010", b.Now())
+	}
+	if l.Stats.Contended != 1 || l.Stats.WaitCycles == 0 {
+		t.Fatalf("contention not recorded: %+v", l.Stats)
+	}
+	// Exponential backoff overshoots by less than one max spin.
+	if over := b.Now() - 1010; over >= 64 {
+		t.Fatalf("backoff overshoot %d >= BackoffMax", over)
+	}
+}
+
+func TestLockBackoffCapped(t *testing.T) {
+	a, b := &cycles.Clock{}, &cycles.Clock{}
+	l := NewLock(LockParams{AcquireCycles: 1, BackoffBase: 2, BackoffMax: 8})
+	l.Acquire(a)
+	a.Charge(cycles.MapOther, 100000)
+	l.Release(a)
+	l.Acquire(b)
+	// Spins: 2,4,8,8,8,... — waited total must reach past 100001.
+	if b.Now() < 100001 {
+		t.Fatalf("clock %d short of release point", b.Now())
+	}
+	if over := b.Now() - 100001; over >= 8 {
+		t.Fatalf("capped backoff overshoot %d >= cap 8", over)
+	}
+}
+
+func TestContendedModeClassification(t *testing.T) {
+	want := map[sim.Mode]bool{
+		sim.Strict: true, sim.StrictPlus: true, sim.Defer: true, sim.DeferPlus: true,
+		sim.RIOMMUMinus: false, sim.RIOMMU: false, sim.None: false,
+	}
+	for m, w := range want {
+		if got := ContendedMode(m); got != w {
+			t.Errorf("ContendedMode(%s) = %v, want %v", m, got, w)
+		}
+	}
+}
+
+func quickParams(m sim.Mode, cores int) Params {
+	return Params{
+		Mode:           m,
+		Profile:        device.ProfileMLX,
+		Cores:          cores,
+		PacketsPerCore: 160,
+		WarmupPerCore:  60,
+	}
+}
+
+// TestRunDeterministic pins the engine's core property: two identical runs
+// produce identical results, bit for bit.
+func TestRunDeterministic(t *testing.T) {
+	for _, m := range []sim.Mode{sim.Strict, sim.Defer, sim.RIOMMU} {
+		a, err := Run(quickParams(m, 4))
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		b, err := Run(quickParams(m, 4))
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: two identical runs diverged:\n%+v\n%+v", m, a, b)
+		}
+	}
+}
+
+// TestRIOMMUScalesOverStrict is the PR's headline acceptance criterion:
+// under default contention costs on the mlx profile, rIOMMU's aggregate
+// throughput at 8 cores is at least 3x strict's.
+func TestRIOMMUScalesOverStrict(t *testing.T) {
+	strict, err := Run(quickParams(sim.Strict, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	riommu, err := Run(quickParams(sim.RIOMMU, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("8-core mlx: strict=%.2f Gbps (lock: %d contended, %d wait cyc), riommu=%.2f Gbps",
+		strict.AggGbps, strict.Lock.Contended, strict.Lock.WaitCycles, riommu.AggGbps)
+	if riommu.AggGbps < 3*strict.AggGbps {
+		t.Fatalf("riommu %.2f Gbps < 3x strict %.2f Gbps at 8 cores", riommu.AggGbps, strict.AggGbps)
+	}
+	if strict.Lock.Contended == 0 {
+		t.Fatal("8-core strict run saw no lock contention — the model is not engaging")
+	}
+	if riommu.Lock.Acquisitions != 0 {
+		t.Fatal("riommu run took the shared lock — rIOMMU paths must stay lock-free")
+	}
+}
+
+// TestStrictFlattens checks the qualitative §2.3 curve: strict's aggregate
+// throughput stops improving with cores, while riommu's grows near-linearly
+// until it hits line rate.
+func TestStrictFlattens(t *testing.T) {
+	agg := func(m sim.Mode, cores int) float64 {
+		r, err := Run(quickParams(m, cores))
+		if err != nil {
+			t.Fatalf("%s/%d: %v", m, cores, err)
+		}
+		t.Logf("%s cores=%2d: %.2f Gbps (mean C=%.0f)", m, cores, r.AggGbps, r.MeanCyclesPerPacket)
+		return r.AggGbps
+	}
+	s1, s8 := agg(sim.Strict, 1), agg(sim.Strict, 8)
+	if s8 > 2.5*s1 {
+		t.Errorf("strict scaled %.1fx from 1 to 8 cores — contention should flatten it", s8/s1)
+	}
+	r1, r8 := agg(sim.RIOMMU, 1), agg(sim.RIOMMU, 8)
+	if r8 < 3*r1 && r8 < 0.95*device.ProfileMLX.LineRateGbps {
+		t.Errorf("riommu did not scale: 1 core %.2f, 8 cores %.2f Gbps", r1, r8)
+	}
+}
+
+func TestRunRejectsBadCores(t *testing.T) {
+	if _, err := Run(Params{Mode: sim.RIOMMU, Profile: device.ProfileMLX, Cores: 0}); err == nil {
+		t.Fatal("Run accepted zero cores")
+	}
+}

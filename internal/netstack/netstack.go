@@ -106,6 +106,17 @@ func (c *Conn) SendMessage(size int) error {
 	return nil
 }
 
+// SendPacket transmits a single data packet of n payload bytes (callers
+// stepping one packet at a time, e.g. the multicore scheduler's per-core
+// quanta; n is clamped to MSS). Completion bursts and ack return traffic
+// fire exactly as they would inside SendMessage.
+func (c *Conn) SendPacket(n int) error {
+	if n > c.p.MSS {
+		n = c.p.MSS
+	}
+	return c.sendPacket(n)
+}
+
 func (c *Conn) sendPacket(n int) error {
 	c.clk.Charge(cycles.Stack, c.p.StackCyclesPerPacket)
 	if err := c.drv.Send(c.scratch[:n]); err != nil {
