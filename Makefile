@@ -6,7 +6,7 @@ WALLCLOCK_PATTERN ?= MapUnmap|Rtranslate|^BenchmarkWalk$$|^BenchmarkIOTLB$$|Camp
 
 COVER_FLOOR ?= 75.0
 
-.PHONY: all build test tier1 vet fmt-check race ci ci-local cover equivalence fuzz fuzz-smoke bench-json bench-check bench-wallclock bench-wallclock-baseline alloc-check profile audit clean
+.PHONY: all build test tier1 vet fmt-check race ci ci-local cover equivalence fuzz fuzz-smoke bench-json bench-check bench-wallclock bench-wallclock-baseline alloc-check profile audit hotplug clean
 
 all: tier1
 
@@ -36,7 +36,7 @@ race:
 ci: build vet race
 
 # ci-local mirrors every gate of .github/workflows/ci.yml in one invocation.
-ci-local: build vet fmt-check test race equivalence fuzz-smoke bench-check alloc-check cover audit
+ci-local: build vet fmt-check test race equivalence fuzz-smoke bench-check alloc-check cover audit hotplug
 
 # equivalence runs the mode-equivalence property suite under the race
 # detector: every protection mode must produce byte-identical Tx/Rx payloads
@@ -65,15 +65,26 @@ audit:
 	$(GO) run -race ./cmd/riommu-faults \
 		-rounds 40 -rates 0 -modes strict,riommu -chaos all > /dev/null
 
-# A short bounded run of the fault-determinism fuzzer (the seed corpus also
-# runs as part of plain `go test`).
+# hotplug is the interrupt gate: a quick hot-plug storm plus hostile-MSI
+# campaign (interrupt shadow oracle + lifecycle state machine) built with the
+# race detector. The command exits non-zero if a delivered interrupt is
+# disowned by the shadow table, a removed device's completion is reaped, or a
+# surprise removal fails to recover with a finite MTTR.
+hotplug:
+	$(GO) run -race ./cmd/riommu-faults \
+		-rounds 24 -rates 0 -modes strict -intchaos all -hotplug all > /dev/null
+
+# Short bounded runs of the fault-determinism and IRTE-allocator fuzzers
+# (the seed corpora also run as part of plain `go test`).
 fuzz:
 	$(GO) test ./internal/sim/ -run FuzzFaultDeterminism -fuzz FuzzFaultDeterminism -fuzztime 20s
+	$(GO) test ./internal/intremap/ -run FuzzIRTEAllocator -fuzz FuzzIRTEAllocator -fuzztime 20s
 
-# fuzz-smoke is the CI-sized variant: long enough to execute the engine on
+# fuzz-smoke is the CI-sized variant: long enough to execute the engines on
 # generated inputs, short enough for every push.
 fuzz-smoke:
 	$(GO) test ./internal/sim/ -run FuzzFaultDeterminism -fuzz FuzzFaultDeterminism -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/intremap/ -run FuzzIRTEAllocator -fuzz FuzzIRTEAllocator -fuzztime $(FUZZTIME)
 
 # bench-json regenerates the committed benchmark golden. Run it (and commit
 # the result) whenever an intentional change moves any cell metric. The

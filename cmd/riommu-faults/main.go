@@ -9,7 +9,7 @@
 //
 //	riommu-faults [-seed N] [-rates r1,r2,...] [-modes m1,m2,...] [-rounds N]
 //	              [-parallel N] [-json FILE] [-audit] [-chaos s1,s2,...|all]
-//	              [-cores n1,n2,...]
+//	              [-cores n1,n2,...] [-intchaos s1,s2,...|all] [-hotplug s1,s2,...|all]
 //
 // -cores adds multi-queue scale-out cells: for each width > 1, every mode x
 // rate combination soaks an MQNIC with that many queue pairs under one
@@ -24,6 +24,15 @@
 // the deferred ones, quarantined by the supervisor's circuit breaker.
 // -chaos implies -audit. After an audited run the isolation gate is
 // enforced: any violation in a gap-free mode fails the command.
+//
+// -intchaos adds hostile-MSI interrupt cells (unmapped-vector storms,
+// spoofed-requester messages, stale-IRTE replay) across all seven
+// presentation modes, judged by the interrupt shadow oracle. -hotplug adds
+// topology-churn cells (attach storms, DMA before attach, surprise removal
+// with state live) driving the device-lifecycle state machine. Both imply
+// -audit and both are gated: a delivered interrupt the shadow table
+// disowns, a ghost delivery after removal, or a surprise removal without a
+// finite MTTR fails the command.
 //
 // Every number in the output is a pure function of the flags: each cell's
 // fault engine is seeded from the base seed and the cell's identity, all
@@ -89,6 +98,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		auditOn  = fs.Bool("audit", false, "install the shadow translation oracle and enforce the isolation gate")
 		chaosArg = fs.String("chaos", "", "comma-separated hostile-device scenarios, or \"all\" (implies -audit)")
 		coresArg = fs.String("cores", "", "comma-separated multi-queue scale-out widths (e.g. \"2,4\"); adds mode x rate cells on an MQNIC with that many queue pairs")
+		intArg   = fs.String("intchaos", "", "comma-separated hostile-MSI interrupt scenarios, or \"all\" (implies -audit)")
+		plugArg  = fs.String("hotplug", "", "comma-separated hot-plug storm scenarios, or \"all\" (implies -audit)")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile (runtime/pprof) to this file")
 		memProf  = fs.String("memprofile", "", "write an allocs heap profile to this file on exit")
 	)
@@ -133,16 +144,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "riommu-faults:", err)
 		return 2
 	}
+	var intScenarios []chaos.IntScenario
+	if *intArg != "" {
+		intScenarios, err = chaos.ParseInt(*intArg)
+		if err != nil {
+			fmt.Fprintln(stderr, "riommu-faults:", err)
+			return 2
+		}
+		*auditOn = true
+	}
+	var plugScenarios []string
+	if *plugArg != "" {
+		plugScenarios, err = campaign.ParseHotplug(*plugArg)
+		if err != nil {
+			fmt.Fprintln(stderr, "riommu-faults:", err)
+			return 2
+		}
+		*auditOn = true
+	}
 
 	opts := campaign.Options{
-		Seed:    *seed,
-		Rates:   rs,
-		Modes:   ms,
-		Rounds:  *rounds,
-		Workers: parallel.Workers(*workers),
-		Audit:   *auditOn,
-		Chaos:   scenarios,
-		Cores:   cores,
+		Seed:     *seed,
+		Rates:    rs,
+		Modes:    ms,
+		Rounds:   *rounds,
+		Workers:  parallel.Workers(*workers),
+		Audit:    *auditOn,
+		Chaos:    scenarios,
+		Cores:    cores,
+		IntChaos: intScenarios,
+		Hotplug:  plugScenarios,
 	}
 	res, err := campaign.Run(opts)
 	if parallel.Interrupted() {
@@ -188,6 +219,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		fmt.Fprintln(stderr, "riommu-faults: isolation gate passed")
+	}
+	if len(intScenarios) > 0 || len(plugScenarios) > 0 {
+		if fails := res.IntremapViolationsGate(); len(fails) != 0 {
+			for _, f := range fails {
+				fmt.Fprintln(stderr, "riommu-faults: interrupt gate:", f)
+			}
+			fmt.Fprintf(stderr, "riommu-faults: interrupt gate failed (%d violation(s))\n", len(fails))
+			return 1
+		}
+		fmt.Fprintln(stderr, "riommu-faults: interrupt gate passed")
 	}
 	return 0
 }

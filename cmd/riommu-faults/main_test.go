@@ -104,4 +104,76 @@ func TestBadChaosFlag(t *testing.T) {
 	if code := run([]string{"-chaos", "nonsense"}, &out, &errb); code != 2 {
 		t.Fatalf("exit %d, want 2", code)
 	}
+	if code := run([]string{"-intchaos", "nonsense"}, &out, &errb); code != 2 {
+		t.Fatalf("-intchaos nonsense: exit %d, want 2", code)
+	}
+	if code := run([]string{"-hotplug", "nonsense"}, &out, &errb); code != 2 {
+		t.Fatalf("-hotplug nonsense: exit %d, want 2", code)
+	}
+}
+
+// TestIntChaosHotplugGatePasses: the -intchaos/-hotplug flags (implying
+// -audit) run hostile-MSI and topology-churn cells across all presentation
+// modes, report both new tables, write a complete JSON report, and pass
+// both the isolation gate and the interrupt gate.
+func TestIntChaosHotplugGatePasses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full interrupt/hot-plug campaign is slow under -short")
+	}
+	var out, errb bytes.Buffer
+	rep := filepath.Join(t.TempDir(), "rep.json")
+	code := run([]string{
+		"-rounds", "12", "-rates", "0", "-modes", "strict",
+		"-intchaos", "all", "-hotplug", "all", "-parallel", "4", "-json", rep,
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d\nstderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "Interrupt chaos campaign") {
+		t.Error("interrupt chaos table missing from output")
+	}
+	if !strings.Contains(out.String(), "Hot-plug campaign") {
+		t.Error("hot-plug table missing from output")
+	}
+	if !strings.Contains(errb.String(), "isolation gate passed") {
+		t.Errorf("isolation gate verdict missing from stderr:\n%s", errb.String())
+	}
+	if !strings.Contains(errb.String(), "interrupt gate passed") {
+		t.Errorf("interrupt gate verdict missing from stderr:\n%s", errb.String())
+	}
+	b, err := os.ReadFile(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r struct {
+		Interrupted bool `json:"interrupted"`
+		Cells       []struct {
+			ID      string             `json:"cell"`
+			Metrics map[string]float64 `json:"metrics"`
+		} `json:"cells"`
+	}
+	if err := json.Unmarshal(b, &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Interrupted {
+		t.Error("complete run marked interrupted")
+	}
+	var sawInt, sawPlug bool
+	for _, c := range r.Cells {
+		if strings.Contains(c.ID, "intchaos=") {
+			sawInt = true
+			if _, ok := c.Metrics["int_blocked"]; !ok {
+				t.Errorf("%s: int_blocked metric missing", c.ID)
+			}
+		}
+		if strings.Contains(c.ID, "hotplug=") {
+			sawPlug = true
+			if _, ok := c.Metrics["mttr_cycles"]; !ok {
+				t.Errorf("%s: mttr_cycles metric missing", c.ID)
+			}
+		}
+	}
+	if !sawInt || !sawPlug {
+		t.Errorf("report missing new cell kinds: intchaos=%v hotplug=%v", sawInt, sawPlug)
+	}
 }

@@ -23,6 +23,7 @@ import (
 	"riommu/internal/device"
 	"riommu/internal/driver"
 	"riommu/internal/faults"
+	"riommu/internal/intremap"
 	"riommu/internal/parallel"
 	"riommu/internal/pci"
 	"riommu/internal/perfmodel"
@@ -34,7 +35,8 @@ var (
 	nicBDF   = pci.NewBDF(0, 3, 0)
 	nvmeBDF  = pci.NewBDF(0, 4, 0)
 	sataBDF  = pci.NewBDF(0, 5, 0)
-	churnBDF = pci.NewBDF(0, 6, 0) // inv-flood's map/unmap churn device
+	churnBDF = pci.NewBDF(0, 6, 0)  // inv-flood's map/unmap churn device
+	msiBDF   = pci.NewBDF(0, 66, 6) // hostile MSI source's requester id
 )
 
 // SafeModes are the modes the recovery story covers: the deferred modes
@@ -47,6 +49,55 @@ var SafeModes = []sim.Mode{sim.Strict, sim.StrictPlus, sim.RIOMMUMinus, sim.RIOM
 // quantifying their stale-IOTLB window against the violation-free safe modes
 // is the point of the audit.
 var ChaosModes = []sim.Mode{sim.Strict, sim.StrictPlus, sim.Defer, sim.DeferPlus, sim.RIOMMUMinus, sim.RIOMMU}
+
+// The hot-plug storm scenarios. Unlike the chaos scenarios (which live in
+// internal/chaos and need only a hostile device), these orchestrate topology
+// churn through the sim layer's lifecycle state machine, so the campaign owns
+// their names.
+const (
+	// HotplugAttachStorm cycles attach → traffic → surprise-removal →
+	// replug repeatedly, with completions latched at every yank.
+	HotplugAttachStorm = "attach-storm"
+	// HotplugDMAEarly has the device DMA before the OS ever attached it —
+	// every access must fault in the protected modes.
+	HotplugDMAEarly = "dma-before-attach"
+	// HotplugSurprise is one mid-campaign surprise removal with mappings and
+	// in-flight invalidations live, followed by quarantine and an operator
+	// replug.
+	HotplugSurprise = "surprise-remove"
+)
+
+// HotplugScenarios returns every hot-plug scenario in canonical order.
+func HotplugScenarios() []string {
+	return []string{HotplugAttachStorm, HotplugDMAEarly, HotplugSurprise}
+}
+
+// ParseHotplug parses a comma-separated hot-plug scenario list; "all"
+// selects every scenario.
+func ParseHotplug(s string) ([]string, error) {
+	if strings.TrimSpace(s) == "all" {
+		return HotplugScenarios(), nil
+	}
+	known := make(map[string]bool)
+	for _, sc := range HotplugScenarios() {
+		known[sc] = true
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		sc := strings.TrimSpace(part)
+		if sc == "" {
+			continue
+		}
+		if !known[sc] {
+			return nil, fmt.Errorf("unknown hot-plug scenario %q", sc)
+		}
+		out = append(out, sc)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty hot-plug scenario list")
+	}
+	return out, nil
+}
 
 // ParseModes resolves a comma-separated mode list against SafeModes.
 func ParseModes(s string) ([]sim.Mode, error) {
@@ -123,6 +174,14 @@ type Options struct {
 	// supervised recovery domain for the whole port). Legacy single-queue
 	// cells are untouched.
 	Cores []int
+	// IntChaos appends hostile-MSI cells: each interrupt scenario runs
+	// against every presentation mode (sim.AllModes) with the interrupt
+	// oracle attached.
+	IntChaos []chaos.IntScenario
+	// Hotplug appends topology-churn cells: each hot-plug scenario runs
+	// against every presentation mode, driving the lifecycle state machine
+	// under audit.
+	Hotplug []string
 }
 
 // Key identifies one campaign cell.
@@ -135,6 +194,10 @@ type Key struct {
 	Clean bool
 	// Scenario marks a hostile-device chaos cell (empty otherwise).
 	Scenario string
+	// IntScenario marks a hostile-MSI interrupt chaos cell.
+	IntScenario string
+	// Hotplug marks a topology-churn cell.
+	Hotplug string
 	// Cores marks a multi-queue scale-out cell (0 for the legacy
 	// single-queue cells, so their identities — and hence per-cell seeds —
 	// are unchanged).
@@ -148,6 +211,12 @@ func (k Key) String() string {
 	}
 	if k.Scenario != "" {
 		return fmt.Sprintf("%s/%s/chaos=%s", k.Device, k.Mode, k.Scenario)
+	}
+	if k.IntScenario != "" {
+		return fmt.Sprintf("%s/%s/intchaos=%s", k.Device, k.Mode, k.IntScenario)
+	}
+	if k.Hotplug != "" {
+		return fmt.Sprintf("%s/%s/hotplug=%s", k.Device, k.Mode, k.Hotplug)
 	}
 	if k.Clean {
 		return k.Device + "/" + k.Mode.String() + "/clean"
@@ -180,6 +249,18 @@ type CellMetrics struct {
 	Availability   float64
 	BreakerTrips   uint64
 	Readmissions   uint64
+
+	// Interrupt-remapping results (intchaos and hotplug cells).
+	IntDelivered  uint64
+	IntBlocked    uint64
+	IntViolations uint64
+	IntByReason   map[string]uint64
+
+	// Hot-plug cells only: lifecycle churn and ghost behavior.
+	Attaches        uint64
+	Removals        uint64
+	Quarantines     uint64
+	GhostDeliveries uint64 // interrupts delivered while the slot was removed
 }
 
 // Result pairs the grid with its measurements, cell i of Keys in Cells[i].
@@ -230,6 +311,19 @@ func (o Options) Grid() []Key {
 			keys = append(keys, Key{Device: "nic", Mode: m, Scenario: string(sc)})
 		}
 	}
+	// The interrupt and hot-plug sweeps cover all seven presentation modes:
+	// the unprotected modes are the "what an attack costs without remapping"
+	// anchors, the deferred modes quantify the IEC stale window.
+	for _, sc := range o.IntChaos {
+		for _, m := range sim.AllModes() {
+			keys = append(keys, Key{Device: "nic", Mode: m, IntScenario: string(sc)})
+		}
+	}
+	for _, sc := range o.Hotplug {
+		for _, m := range sim.AllModes() {
+			keys = append(keys, Key{Device: "nic", Mode: m, Hotplug: sc})
+		}
+	}
 	return keys
 }
 
@@ -256,6 +350,10 @@ func Run(opts Options) (Result, error) {
 		switch {
 		case k.Scenario != "":
 			c, err = chaosCell(k.Mode, chaos.Scenario(k.Scenario), seed, opts.Rounds)
+		case k.IntScenario != "":
+			c, err = intchaosCell(k.Mode, chaos.IntScenario(k.IntScenario), seed, opts.Rounds)
+		case k.Hotplug != "":
+			c, err = hotplugCell(k.Mode, k.Hotplug, seed, opts.Rounds)
 		case k.Cores > 1:
 			c, err = mqCell(k.Mode, seed, rate, opts.Rounds, k.Cores, opts.Audit)
 		case k.Device == "nic":
@@ -644,6 +742,368 @@ func chaosCell(mode sim.Mode, scenario chaos.Scenario, seed uint64, rounds int) 
 	return c, nil
 }
 
+// recordIntAudit copies the remapper's counters and the interrupt oracle's
+// verdicts into the cell (every reason key present for stable columns).
+func recordIntAudit(c *CellMetrics, rem *intremap.Remapper, orc *audit.IntOracle) {
+	if rem == nil || orc == nil {
+		return
+	}
+	st := rem.Stats()
+	c.IntDelivered = st.Delivered
+	c.IntBlocked = st.Blocked()
+	c.IntViolations = orc.Violations
+	c.IntByReason = make(map[string]uint64, len(audit.IntReasons()))
+	for _, r := range audit.IntReasons() {
+		c.IntByReason[r] = orc.ByReason[r]
+	}
+}
+
+// addRecovery accumulates one supervisor's recovery counters into the cell
+// (hot-plug cells re-supervise after every replug).
+func addRecovery(dst *driver.RecoveryStats, s driver.RecoveryStats) {
+	dst.Retries += s.Retries
+	dst.Recoveries += s.Recoveries
+	dst.WatchdogFires += s.WatchdogFires
+	dst.Degradations += s.Degradations
+	dst.Unrecovered += s.Unrecovered
+	dst.Rejected += s.Rejected
+}
+
+// hotplugProfile keeps the topology-churn cells' repeated ring allocations
+// inside the cell's memory budget.
+func hotplugProfile() device.NICProfile {
+	p := device.ProfileBRCM
+	p.RxEntries = 64
+	p.TxEntries = 64
+	return p
+}
+
+// mqTraffic is one round of bidirectional traffic on a 2-queue NIC; the
+// reap paths fire any latched completion interrupts.
+func mqTraffic(mq *driver.MQNIC, payload []byte) error {
+	for q := 0; q < len(mq.Queues); q++ {
+		if err := mq.Send(payload); err != nil {
+			return err
+		}
+	}
+	if _, err := mq.PumpAndReapAll(); err != nil {
+		return err
+	}
+	for q := 0; q < len(mq.Queues); q++ {
+		if err := mq.Deliver(q, payload); err != nil {
+			return err
+		}
+	}
+	_, err := mq.ReapRxAll()
+	return err
+}
+
+// intchaosCell drives one hostile-MSI scenario against a supervised,
+// interrupt-audited multi-queue NIC. The legitimate workload keeps raising
+// and servicing real completion interrupts while the hostile requester
+// layers its messages on top; the interrupt oracle judges every delivery.
+func intchaosCell(mode sim.Mode, scenario chaos.IntScenario, seed uint64, rounds int) (CellMetrics, error) {
+	sys, err := sim.NewSystem(mode, 1<<15)
+	if err != nil {
+		return CellMetrics{}, err
+	}
+	defer sys.Close()
+	f := sys.EnableFaults(faults.UniformConfig(seed, 0))
+	orc := sys.EnableAudit()
+	iorc, err := sys.EnableIntAudit()
+	if err != nil {
+		return CellMetrics{}, err
+	}
+	mq, err := sys.HotAttachMQNIC(device.ProfileBRCM, nicBDF, 2, false)
+	if err != nil {
+		return CellMetrics{}, err
+	}
+	sup := sys.Supervise(nicBDF, mq)
+	sup.Breaker = driver.NewBreaker()
+	sup.Isolator = sys.IsolatorFor(nicBDF)
+	host := chaos.NewIntHostile(sys.IntRemap, iorc, msiBDF, nicBDF)
+
+	payload := make([]byte, 1024)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	for round := 0; round < rounds; round++ {
+		_ = sup.Do(func() error { return mqTraffic(mq, payload) })
+		switch scenario {
+		case chaos.VectorStorm:
+			host.RunInt(scenario, 16)
+		case chaos.SpoofBDF:
+			host.RunInt(scenario, 8)
+		case chaos.IRTEReplay:
+			// Periodic vector rebalance: tear the queues' sources down,
+			// replay the freed indices as the ghost, then rewire. Deferred
+			// IEC invalidation leaves the freed entries cached and
+			// deliverable until the batched flush — the stale window the
+			// oracle must flag.
+			if round%8 == 7 {
+				sys.DropIntSources(nicBDF)
+				host.RunInt(scenario, 8)
+				if err := sys.WireMQNICInterrupts(mq, nicBDF, false); err != nil {
+					return CellMetrics{}, fmt.Errorf("vector rebalance: %w", err)
+				}
+			}
+		}
+		_, _ = sup.Watch()
+	}
+
+	c := CellMetrics{
+		Injected:       f.TotalInjected(),
+		Recovery:       sup.Stats,
+		RecoveryCycles: sys.CPU.Total(cycles.Recovery),
+	}
+	var pkts uint64
+	for q := 0; q < len(mq.Queues); q++ {
+		nic := mq.NIC(q)
+		pkts += nic.TxPackets + nic.RxPackets
+	}
+	if pkts > 0 {
+		c.CyclesPerOp = float64(sys.CPU.Now()) / float64(pkts)
+		c.Gbps = perfmodel.Gbps(sys.Model, c.CyclesPerOp, device.ProfileBRCM.LineRateGbps)
+	}
+	recordAudit(&c, orc, pkts)
+	recordIntAudit(&c, sys.IntRemap, iorc)
+	c.Chaos = host.Stats
+	slo := sup.SLO()
+	c.Outages = slo.Outages
+	c.DowntimeCycles = slo.DowntimeCycles
+	c.MTTRCycles = slo.MTTRCycles()
+	c.Availability = slo.Availability(sys.CPU.Now())
+	c.BreakerTrips = sup.Breaker.Trips
+	c.Readmissions = sup.Breaker.Readmissions
+	return c, nil
+}
+
+// hotplugCell drives one topology-churn scenario through the lifecycle
+// state machine under full (DMA + interrupt) audit. The SLO numbers here
+// come from the lifecycle ledger: an outage runs from a surprise removal to
+// the replug that returns the slot to Live.
+func hotplugCell(mode sim.Mode, scenario string, seed uint64, rounds int) (CellMetrics, error) {
+	sys, err := sim.NewSystem(mode, 1<<15)
+	if err != nil {
+		return CellMetrics{}, err
+	}
+	defer sys.Close()
+	f := sys.EnableFaults(faults.UniformConfig(seed, 0))
+	orc := sys.EnableAudit()
+	iorc, err := sys.EnableIntAudit()
+	if err != nil {
+		return CellMetrics{}, err
+	}
+	lc := sys.LifecycleFor(nicBDF)
+	payload := make([]byte, 1024)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+
+	c := CellMetrics{}
+
+	// attach brings a fresh device into the slot; when it closes a removal
+	// outage, the width lands in the cell's SLO ledger.
+	attach := func() (*driver.MQNIC, error) {
+		wasRemoved := lc.State() == sim.SurpriseRemoved || lc.State() == sim.Quarantined
+		mq, err := sys.HotAttachMQNIC(hotplugProfile(), nicBDF, 2, false)
+		if err != nil {
+			return nil, err
+		}
+		if wasRemoved {
+			c.Outages++
+			c.DowntimeCycles += lc.OutageCycles()
+		}
+		return mq, nil
+	}
+	// yank latches fresh completions on every queue, surprise-removes the
+	// device, then has the ghost's reap paths run: anything they deliver is
+	// a ghost delivery the gate fails on.
+	yank := func(mq *driver.MQNIC) error {
+		for q := 0; q < len(mq.Queues); q++ {
+			if err := mq.Send(payload); err != nil {
+				return err
+			}
+		}
+		for _, drv := range mq.Queues {
+			if _, err := drv.PumpTx(int(drv.TxRing().Pending())); err != nil {
+				return err
+			}
+		}
+		before := sys.IntRemap.Stats().Delivered
+		if err := lc.SurpriseRemove(); err != nil {
+			return err
+		}
+		for _, drv := range mq.Queues {
+			_, _ = drv.ReapTx()
+			_, _ = drv.ReapRx()
+		}
+		c.GhostDeliveries += sys.IntRemap.Stats().Delivered - before
+		return nil
+	}
+	// supervised runs n traffic rounds on mq under a fresh breaker-equipped
+	// supervisor (the previous one died with the previous device).
+	supervised := func(mq *driver.MQNIC, n int) {
+		sup := sys.Supervise(nicBDF, mq)
+		sup.Breaker = driver.NewBreaker()
+		for i := 0; i < n; i++ {
+			_ = sup.Do(func() error { return mqTraffic(mq, payload) })
+			_, _ = sup.Watch()
+		}
+		addRecovery(&c.Recovery, sup.Stats)
+	}
+
+	switch scenario {
+	case HotplugAttachStorm:
+		phases := 6
+		perPhase := rounds / phases
+		if perPhase < 1 {
+			perPhase = 1
+		}
+		for p := 0; p < phases; p++ {
+			mq, err := attach()
+			if err != nil {
+				return CellMetrics{}, fmt.Errorf("phase %d attach: %w", p, err)
+			}
+			supervised(mq, perPhase)
+			if err := yank(mq); err != nil {
+				return CellMetrics{}, fmt.Errorf("phase %d yank: %w", p, err)
+			}
+		}
+		// Final replug closes the last outage.
+		mq, err := attach()
+		if err != nil {
+			return CellMetrics{}, fmt.Errorf("final attach: %w", err)
+		}
+		supervised(mq, perPhase)
+
+	case HotplugDMAEarly:
+		// The device DMAs before the OS ever attached it: in every
+		// protected mode the accesses must fault (there is no context/table
+		// entry to translate through). The probes target another tenant's
+		// allocated buffer so the unprotected anchor shows what actually
+		// lands without an IOMMU.
+		victim, err := sys.Mem.AllocFrame()
+		if err != nil {
+			return CellMetrics{}, err
+		}
+		probe := make([]byte, 64)
+		for i := 0; i < rounds; i++ {
+			c.Chaos.Attempts++
+			iova := uint64(victim.PA()) + uint64(i%63)*64
+			if err := sys.Eng.Write(nicBDF, iova, probe); err != nil {
+				c.Chaos.Contained++
+			} else {
+				c.Chaos.Landed++
+			}
+		}
+		mq, err := attach()
+		if err != nil {
+			return CellMetrics{}, err
+		}
+		supervised(mq, rounds)
+
+	case HotplugSurprise:
+		mq, err := attach()
+		if err != nil {
+			return CellMetrics{}, err
+		}
+		supervised(mq, rounds/2)
+		if err := yank(mq); err != nil {
+			return CellMetrics{}, err
+		}
+		if err := lc.Quarantine(); err != nil {
+			return CellMetrics{}, err
+		}
+		// A quarantined slot stays silent until the operator clears it.
+		for _, drv := range mq.Queues {
+			_, _ = drv.ReapTx()
+		}
+		mq2, err := attach()
+		if err != nil {
+			return CellMetrics{}, fmt.Errorf("replug from quarantine: %w", err)
+		}
+		supervised(mq2, rounds-rounds/2)
+
+	default:
+		return CellMetrics{}, fmt.Errorf("unknown hot-plug scenario %q", scenario)
+	}
+
+	c.Injected = f.TotalInjected()
+	c.RecoveryCycles = sys.CPU.Total(cycles.Recovery)
+	c.Attaches = lc.Attaches
+	c.Removals = lc.Removals
+	c.Quarantines = lc.Quarantines
+	if c.Outages > 0 {
+		c.MTTRCycles = float64(c.DowntimeCycles) / float64(c.Outages)
+	}
+	if now := sys.CPU.Now(); now > 0 {
+		c.Availability = 1 - float64(c.DowntimeCycles)/float64(now)
+	}
+	recordAudit(&c, orc, 0)
+	recordIntAudit(&c, sys.IntRemap, iorc)
+	return c, nil
+}
+
+// IntremapViolationsGate checks the interrupt-isolation claims the intchaos
+// and hot-plug cells must uphold:
+//
+//   - outside the deliberate stale window, no cell with remapping hardware
+//     (every mode but none) may record a delivered interrupt violation;
+//   - liveness: the deferred modes' irte-replay cells must record int-stale
+//     deliveries — zero there means the oracle went blind, not that the
+//     deferred IEC closed its window;
+//   - attack cells with attempts must show blocked messages (the remapper
+//     actually refused something);
+//   - hot-plug: every surprise removal closes with a finite outage (the SLO
+//     ledger has an MTTR for it), ghosts never deliver, and early DMA never
+//     lands under protection.
+func (r Result) IntremapViolationsGate() []string {
+	var fails []string
+	deferReplayCells, sawStale := 0, false
+	for i, k := range r.Keys {
+		c := r.Cells[i]
+		if !r.done(i) || (k.IntScenario == "" && k.Hotplug == "") {
+			continue
+		}
+		if k.Mode == sim.None {
+			continue // no remapping hardware, nothing to gate
+		}
+		deferMode := k.Mode == sim.Defer || k.Mode == sim.DeferPlus
+		if k.IntScenario == string(chaos.IRTEReplay) && deferMode {
+			// The stale window is this cell's subject: landings are expected
+			// here (and required, via the liveness check below), so neither
+			// the zero-violations nor the must-block expectation applies.
+			deferReplayCells++
+			if c.IntByReason[audit.IntReasonStale] > 0 {
+				sawStale = true
+			}
+		} else {
+			if c.IntViolations != 0 {
+				fails = append(fails, fmt.Sprintf("%s: %d delivered interrupt violations", k, c.IntViolations))
+			}
+			if k.IntScenario != "" && c.Chaos.Attempts > 0 && c.IntBlocked == 0 {
+				fails = append(fails, fmt.Sprintf("%s: hostile MSIs attempted but none blocked — remapper asleep", k))
+			}
+		}
+		if k.Hotplug != "" {
+			if c.GhostDeliveries != 0 {
+				fails = append(fails, fmt.Sprintf("%s: %d interrupts delivered by a removed device", k, c.GhostDeliveries))
+			}
+			if c.Removals > 0 && (c.Outages != c.Removals || c.MTTRCycles <= 0) {
+				fails = append(fails, fmt.Sprintf("%s: %d removals but %d finished outages (MTTR %.0f) — SLO ledger incomplete", k, c.Removals, c.Outages, c.MTTRCycles))
+			}
+			if k.Hotplug == HotplugDMAEarly && c.Chaos.Landed != 0 {
+				fails = append(fails, fmt.Sprintf("%s: %d pre-attach DMAs landed under protection", k, c.Chaos.Landed))
+			}
+		}
+	}
+	if deferReplayCells > 0 && !sawStale {
+		fails = append(fails, "defer irte-replay cells recorded zero stale deliveries — interrupt oracle liveness check failed")
+	}
+	return fails
+}
+
 // AuditViolationsGate checks the isolation claims the audited cells must
 // uphold and returns one failure message per broken expectation:
 //
@@ -795,6 +1255,57 @@ func (r Result) Render() string {
 		}
 		b.WriteByte('\n')
 		b.WriteString(chTab.String())
+	}
+
+	hasInt := false
+	for _, k := range r.Keys {
+		if k.IntScenario != "" {
+			hasInt = true
+			break
+		}
+	}
+	if hasInt {
+		intTab := stats.NewTable(
+			fmt.Sprintf("Interrupt chaos campaign — hostile MSI source, %d rounds/cell", r.Opts.Rounds),
+			"mode", "scenario", "attempts", "contained", "landed", "delivered", "blocked", "viol", "stale", "trips", "mttr cyc", "avail")
+		intTab.AlignLeft(0).AlignLeft(1)
+		for i, k := range r.Keys {
+			if k.IntScenario == "" {
+				continue
+			}
+			c := r.Cells[i]
+			intTab.Row(k.Mode.String(), k.IntScenario, c.Chaos.Attempts, c.Chaos.Contained,
+				c.Chaos.Landed, c.IntDelivered, c.IntBlocked, c.IntViolations,
+				c.IntByReason[audit.IntReasonStale], c.BreakerTrips,
+				fmt.Sprintf("%.0f", c.MTTRCycles), fmt.Sprintf("%.4f", c.Availability))
+		}
+		b.WriteByte('\n')
+		b.WriteString(intTab.String())
+	}
+
+	hasPlug := false
+	for _, k := range r.Keys {
+		if k.Hotplug != "" {
+			hasPlug = true
+			break
+		}
+	}
+	if hasPlug {
+		hpTab := stats.NewTable(
+			fmt.Sprintf("Hot-plug campaign — lifecycle churn, %d rounds/cell", r.Opts.Rounds),
+			"mode", "scenario", "attach", "remove", "quar", "ghost", "early landed", "int viol", "outages", "mttr cyc", "avail")
+		hpTab.AlignLeft(0).AlignLeft(1)
+		for i, k := range r.Keys {
+			if k.Hotplug == "" {
+				continue
+			}
+			c := r.Cells[i]
+			hpTab.Row(k.Mode.String(), k.Hotplug, c.Attaches, c.Removals, c.Quarantines,
+				c.GhostDeliveries, c.Chaos.Landed, c.IntViolations, c.Outages,
+				fmt.Sprintf("%.0f", c.MTTRCycles), fmt.Sprintf("%.4f", c.Availability))
+		}
+		b.WriteByte('\n')
+		b.WriteString(hpTab.String())
 	}
 	return b.String()
 }

@@ -280,6 +280,213 @@ func TestAuditedLegacyMetricsUnchanged(t *testing.T) {
 	}
 }
 
+func intHotplugOptions(workers int) Options {
+	return Options{
+		Seed:     42,
+		Rates:    []float64{0},
+		Modes:    []sim.Mode{sim.Strict},
+		Rounds:   24,
+		Workers:  workers,
+		Audit:    true,
+		IntChaos: chaos.IntScenarios(),
+		Hotplug:  HotplugScenarios(),
+	}
+}
+
+// TestIntHotplugSerialParallelEquivalence: the interrupt-chaos and hot-plug
+// sweeps — lifecycle churn, remapper, oracle, SLO ledger — stay
+// byte-identical across worker counts.
+func TestIntHotplugSerialParallelEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-worker sweep is slow under -short")
+	}
+	run := func(workers int) (string, []byte) {
+		res, err := Run(intHotplugOptions(workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		j, err := MarshalReport(BuildReport(res))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res.Render(), j
+	}
+	wantText, wantJSON := run(1)
+	if !strings.Contains(wantText, "Interrupt chaos campaign") || !strings.Contains(wantText, "Hot-plug campaign") {
+		t.Fatalf("rendered campaign missing interrupt/hot-plug tables:\n%s", wantText)
+	}
+	for _, workers := range []int{2, 8} {
+		gotText, gotJSON := run(workers)
+		if gotText != wantText {
+			t.Errorf("workers=%d: rendered text differs from serial", workers)
+		}
+		if !bytes.Equal(gotJSON, wantJSON) {
+			t.Errorf("workers=%d: JSON report differs from serial", workers)
+		}
+	}
+}
+
+// TestIntChaosAsymmetry: the interrupt analog of TestChaosAsymmetry — the
+// remapped modes block every hostile MSI, the deferred modes leak stale
+// deliveries exactly in the irte-replay cells, and pass-through (none) lands
+// attacks without the oracle crying wolf.
+func TestIntChaosAsymmetry(t *testing.T) {
+	res, err := Run(intHotplugOptions(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var deferStale uint64
+	for i, k := range res.Keys {
+		c := res.Cells[i]
+		if k.IntScenario == "" {
+			continue
+		}
+		deferMode := k.Mode == sim.Defer || k.Mode == sim.DeferPlus
+		switch k.IntScenario {
+		case string(chaos.VectorStorm), string(chaos.SpoofBDF):
+			if k.Mode == sim.None {
+				if c.Chaos.Attempts > 0 && c.Chaos.Landed == 0 && k.IntScenario == string(chaos.VectorStorm) {
+					t.Errorf("%s: unremapped mode blocked a storm?", k)
+				}
+				if c.IntViolations != 0 {
+					t.Errorf("%s: oracle judged a pass-through mode", k)
+				}
+				continue
+			}
+			if c.Chaos.Attempts == 0 && k.IntScenario == string(chaos.VectorStorm) {
+				t.Errorf("%s: hostile MSI source never fired", k)
+			}
+			if c.Chaos.Landed != 0 || c.IntViolations != 0 {
+				t.Errorf("%s: hostile MSIs landed (landed=%d viol=%d)", k, c.Chaos.Landed, c.IntViolations)
+			}
+		case string(chaos.IRTEReplay):
+			if deferMode {
+				deferStale += c.IntByReason[audit.IntReasonStale]
+				if c.Chaos.Landed == 0 {
+					t.Errorf("%s: deferred IEC showed no stale window", k)
+				}
+			} else if k.Mode != sim.None && (c.Chaos.Landed != 0 || c.IntViolations != 0) {
+				t.Errorf("%s: replay landed under synchronous invalidation (landed=%d viol=%d)", k, c.Chaos.Landed, c.IntViolations)
+			}
+		}
+		if c.IntDelivered == 0 && k.Mode != sim.None {
+			t.Errorf("%s: workload delivered no legitimate interrupts", k)
+		}
+	}
+	if deferStale == 0 {
+		t.Error("no stale deliveries across defer irte-replay cells")
+	}
+	if fails := res.IntremapViolationsGate(); len(fails) != 0 {
+		t.Errorf("gate failed on a healthy campaign: %v", fails)
+	}
+	if fails := res.AuditViolationsGate(); len(fails) != 0 {
+		t.Errorf("DMA gate failed: %v", fails)
+	}
+}
+
+// TestHotplugCells: every hot-plug cell churns the lifecycle with a finite
+// MTTR per removal, silent ghosts, and (under protection) zero pre-attach
+// DMA landings.
+func TestHotplugCells(t *testing.T) {
+	res, err := Run(intHotplugOptions(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range res.Keys {
+		c := res.Cells[i]
+		if k.Hotplug == "" {
+			continue
+		}
+		if c.Attaches == 0 {
+			t.Errorf("%s: no attaches recorded", k)
+		}
+		if c.GhostDeliveries != 0 {
+			t.Errorf("%s: removed device delivered %d interrupts", k, c.GhostDeliveries)
+		}
+		switch k.Hotplug {
+		case HotplugAttachStorm:
+			if c.Removals < 6 || c.Outages != c.Removals || c.MTTRCycles <= 0 {
+				t.Errorf("%s: removals=%d outages=%d mttr=%.0f", k, c.Removals, c.Outages, c.MTTRCycles)
+			}
+		case HotplugDMAEarly:
+			if c.Chaos.Attempts == 0 {
+				t.Errorf("%s: no early DMA attempted", k)
+			}
+			if k.Mode != sim.None && c.Chaos.Landed != 0 {
+				t.Errorf("%s: %d pre-attach DMAs landed", k, c.Chaos.Landed)
+			}
+			if k.Mode == sim.None && c.Chaos.Landed == 0 {
+				t.Errorf("%s: unprotected mode faulted early DMA?", k)
+			}
+		case HotplugSurprise:
+			if c.Removals != 1 || c.Quarantines != 1 || c.Outages != 1 || c.MTTRCycles <= 0 {
+				t.Errorf("%s: removals=%d quar=%d outages=%d mttr=%.0f", k, c.Removals, c.Quarantines, c.Outages, c.MTTRCycles)
+			}
+		}
+		if k.Mode != sim.None && c.IntViolations != 0 && k.Hotplug != "" {
+			t.Errorf("%s: %d interrupt violations under topology churn", k, c.IntViolations)
+		}
+	}
+}
+
+// TestIntremapGateCatches: the interrupt gate flags delivered violations,
+// silent remappers, ghost deliveries, broken SLO ledgers, and a dead stale
+// window — and ignores mode none.
+func TestIntremapGateCatches(t *testing.T) {
+	mk := func(k Key, c CellMetrics) Result {
+		return Result{Keys: []Key{k}, Cells: []CellMetrics{c}}
+	}
+	viol := mk(Key{Device: "nic", Mode: sim.Strict, IntScenario: string(chaos.SpoofBDF)},
+		CellMetrics{IntViolations: 2, IntBlocked: 5, Chaos: chaos.Stats{Attempts: 5}})
+	if fails := viol.IntremapViolationsGate(); len(fails) != 1 {
+		t.Errorf("delivered violations not flagged: %v", fails)
+	}
+	asleep := mk(Key{Device: "nic", Mode: sim.RIOMMU, IntScenario: string(chaos.VectorStorm)},
+		CellMetrics{Chaos: chaos.Stats{Attempts: 10, Landed: 10}})
+	if fails := asleep.IntremapViolationsGate(); len(fails) != 1 {
+		t.Errorf("sleeping remapper not flagged: %v", fails)
+	}
+	dead := mk(Key{Device: "nic", Mode: sim.Defer, IntScenario: string(chaos.IRTEReplay)},
+		CellMetrics{IntByReason: map[string]uint64{}})
+	if fails := dead.IntremapViolationsGate(); len(fails) != 1 {
+		t.Errorf("dead stale window not flagged: %v", fails)
+	}
+	ghost := mk(Key{Device: "nic", Mode: sim.Strict, Hotplug: HotplugSurprise},
+		CellMetrics{GhostDeliveries: 1, Removals: 1, Outages: 1, MTTRCycles: 100})
+	if fails := ghost.IntremapViolationsGate(); len(fails) != 1 {
+		t.Errorf("ghost delivery not flagged: %v", fails)
+	}
+	noMTTR := mk(Key{Device: "nic", Mode: sim.Strict, Hotplug: HotplugAttachStorm},
+		CellMetrics{Removals: 3, Outages: 2, MTTRCycles: 50})
+	if fails := noMTTR.IntremapViolationsGate(); len(fails) != 1 {
+		t.Errorf("incomplete SLO ledger not flagged: %v", fails)
+	}
+	early := mk(Key{Device: "nic", Mode: sim.RIOMMU, Hotplug: HotplugDMAEarly},
+		CellMetrics{Chaos: chaos.Stats{Attempts: 4, Landed: 4}})
+	if fails := early.IntremapViolationsGate(); len(fails) != 1 {
+		t.Errorf("early DMA landing not flagged: %v", fails)
+	}
+	none := mk(Key{Device: "nic", Mode: sim.None, IntScenario: string(chaos.VectorStorm)},
+		CellMetrics{Chaos: chaos.Stats{Attempts: 10, Landed: 10}})
+	if fails := none.IntremapViolationsGate(); len(fails) != 0 {
+		t.Errorf("mode none wrongly gated: %v", fails)
+	}
+}
+
+func TestParseHotplug(t *testing.T) {
+	all, err := ParseHotplug("all")
+	if err != nil || len(all) != 3 {
+		t.Fatalf("all: %v %v", all, err)
+	}
+	one, err := ParseHotplug(" surprise-remove ")
+	if err != nil || len(one) != 1 || one[0] != HotplugSurprise {
+		t.Fatalf("single: %v %v", one, err)
+	}
+	if _, err := ParseHotplug("nope"); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}
+
 func TestParseModes(t *testing.T) {
 	ms, err := ParseModes("strict, riommu")
 	if err != nil {

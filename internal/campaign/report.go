@@ -62,7 +62,7 @@ func BuildReport(r Result) Report {
 				m["viol_"+reason] = float64(c.ByReason[reason])
 			}
 		}
-		if k.Scenario != "" {
+		if k.Scenario != "" || k.IntScenario != "" {
 			m["chaos_attempts"] = float64(c.Chaos.Attempts)
 			m["chaos_contained"] = float64(c.Chaos.Contained)
 			m["chaos_landed"] = float64(c.Chaos.Landed)
@@ -72,6 +72,26 @@ func BuildReport(r Result) Report {
 			m["availability"] = c.Availability
 			m["breaker_trips"] = float64(c.BreakerTrips)
 			m["readmissions"] = float64(c.Readmissions)
+		}
+		if k.IntScenario != "" || k.Hotplug != "" {
+			m["int_delivered"] = float64(c.IntDelivered)
+			m["int_blocked"] = float64(c.IntBlocked)
+			m["int_violations"] = float64(c.IntViolations)
+			for _, reason := range audit.IntReasons() {
+				m["intviol_"+reason] = float64(c.IntByReason[reason])
+			}
+		}
+		if k.Hotplug != "" {
+			m["attaches"] = float64(c.Attaches)
+			m["removals"] = float64(c.Removals)
+			m["quarantines"] = float64(c.Quarantines)
+			m["ghost_deliveries"] = float64(c.GhostDeliveries)
+			m["early_dma_attempts"] = float64(c.Chaos.Attempts)
+			m["early_dma_landed"] = float64(c.Chaos.Landed)
+			m["outages"] = float64(c.Outages)
+			m["downtime_cycles"] = float64(c.DowntimeCycles)
+			m["mttr_cycles"] = c.MTTRCycles
+			m["availability"] = c.Availability
 		}
 		rep.Cells = append(rep.Cells, ReportCell{ID: k.String(), Metrics: m})
 	}

@@ -20,6 +20,7 @@ import (
 
 	"riommu/internal/device"
 	"riommu/internal/driver"
+	"riommu/internal/intremap"
 	"riommu/internal/mem"
 	"riommu/internal/pci"
 	"riommu/internal/sim"
@@ -61,14 +62,28 @@ func (r recorder) Unmap(ring int, iova uint64, size uint32, endOfBurst bool) err
 	return err
 }
 
+// IntEvent is one delivered completion interrupt: which vector fired on
+// which core. Delivery order, vectors, and target cores are mode-invariant —
+// remapping changes how a message is validated and what it costs, never
+// where a legitimate interrupt lands.
+type IntEvent struct {
+	Vector uint8
+	Core   int
+}
+
 // Trace is everything a workload run produced that must be mode-invariant.
 type Trace struct {
 	TxFrames [][]byte
 	RxFrames [][]byte
 	Events   []MapEvent
+	// IntLog is the ordered interrupt-delivery record (remappable format in
+	// the protected modes, compatibility format in pass-through).
+	IntLog []IntEvent
 	// AuditViolations is the oracle's verdict (0 expected; always 0 in the
 	// unprotected modes, where the oracle passes through).
 	AuditViolations uint64
+	// IntViolations is the interrupt oracle's verdict (0 expected).
+	IntViolations uint64
 }
 
 // Config seeds one equivalence workload.
@@ -127,6 +142,18 @@ func RunWorkload(mode sim.Mode, cfg Config) (Trace, error) {
 	for q := 0; q < cfg.Queues; q++ {
 		mq.NIC(q).CaptureTx = true
 	}
+	// Interrupt path: queue q's vectors target core q; the sink records the
+	// delivery log the equivalence property compares across modes.
+	iorc, err := sys.EnableIntAudit()
+	if err != nil {
+		return tr, err
+	}
+	sys.IntRemap.SetSink(func(d intremap.Delivery) {
+		tr.IntLog = append(tr.IntLog, IntEvent{Vector: d.Vector, Core: d.Core})
+	})
+	if err := sys.WireMQNICInterrupts(mq, equivBDF, false); err != nil {
+		return tr, err
+	}
 
 	rng := cfg.Seed
 	for round := 0; round < cfg.Rounds; round++ {
@@ -162,5 +189,6 @@ func RunWorkload(mode sim.Mode, cfg Config) (Trace, error) {
 	if sys.Auditor != nil {
 		tr.AuditViolations = sys.Auditor.Violations
 	}
+	tr.IntViolations = iorc.Violations
 	return tr, nil
 }

@@ -42,9 +42,9 @@ func TestModeEquivalence(t *testing.T) {
 				if len(ref.TxFrames) != cfg.Rounds {
 					t.Fatalf("reference captured %d tx frames, want %d", len(ref.TxFrames), cfg.Rounds)
 				}
-				if len(ref.RxFrames) == 0 || len(ref.Events) == 0 {
-					t.Fatalf("reference trace is degenerate: %d rx frames, %d events",
-						len(ref.RxFrames), len(ref.Events))
+				if len(ref.RxFrames) == 0 || len(ref.Events) == 0 || len(ref.IntLog) == 0 {
+					t.Fatalf("reference trace is degenerate: %d rx frames, %d events, %d interrupts",
+						len(ref.RxFrames), len(ref.Events), len(ref.IntLog))
 				}
 				for _, m := range modes[1:] {
 					got, err := RunWorkload(m, cfg)
@@ -57,8 +57,15 @@ func TestModeEquivalence(t *testing.T) {
 						t.Errorf("%s: mapping history diverges from %s (%d vs %d events)",
 							m, modes[0], len(ref.Events), len(got.Events))
 					}
+					if !reflect.DeepEqual(ref.IntLog, got.IntLog) {
+						t.Errorf("%s: interrupt-delivery log diverges from %s (%d vs %d deliveries)",
+							m, modes[0], len(got.IntLog), len(ref.IntLog))
+					}
 					if got.AuditViolations != 0 {
 						t.Errorf("%s: %d audit violations in a benign workload", m, got.AuditViolations)
+					}
+					if got.IntViolations != 0 {
+						t.Errorf("%s: %d interrupt violations in a benign workload", m, got.IntViolations)
 					}
 				}
 			})

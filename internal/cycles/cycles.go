@@ -37,6 +37,7 @@ const (
 	DeviceSide                      // device/IOMMU-side work (tracked, not throughput-gating)
 	Recovery                        // fault handling: retries, watchdog resets, degradation
 	LockContention                  // multi-core: spinlock acquire + backoff on shared structures
+	IntRemap                        // interrupt remapping: IRTE walks, IEC maintenance, delivery
 	numComponents
 )
 
@@ -54,6 +55,7 @@ var componentNames = [...]string{
 	DeviceSide:     "device-side",
 	Recovery:       "recovery",
 	LockContention: "lock-contention",
+	IntRemap:       "int-remap",
 }
 
 // String returns the stable human-readable name of the component.

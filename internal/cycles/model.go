@@ -116,6 +116,36 @@ type Model struct {
 	// RIOTLBFetch is the device-side cost of an rIOMMU flat-table fetch
 	// that was not satisfied by the prefetched next entry (one DRAM read).
 	RIOTLBFetch uint64
+
+	// Interrupt remapping costs (VT-d-style, §2 analog for the MSI path).
+	//
+	// IRTEWalk: hardware fetch of one interrupt-remap-table entry on an
+	// interrupt-entry-cache miss (an uncached DRAM read plus source-id
+	// validation), charged device-side like the IOTLB walks.
+	// IRTECacheHit: an IEC hit — on-die lookup, roughly an L2 access.
+	// IECInvEntry: invalidating one IEC entry through the invalidation
+	// queue and waiting for completion (same queued-invalidation machinery
+	// as IOTLBInvEntry, slightly cheaper: no page-walk state to fence).
+	// IECGlobalFlush: flushing the whole IEC (the deferred path amortizes
+	// one flush over a batch of queued frees).
+	// IECDeferOp: queueing one deferred IEC invalidation.
+	// IntDeliver: core-side interrupt dispatch (IDT vectoring + EOI).
+	// IntPost: posted delivery — writing the posted-interrupt descriptor
+	// and sending the notification event instead of a full dispatch.
+	IRTEWalk       uint64
+	IRTECacheHit   uint64
+	IECInvEntry    uint64
+	IECGlobalFlush uint64
+	IECDeferOp     uint64
+	IntDeliver     uint64
+	IntPost        uint64
+
+	// HotAttach / HotDetach are the lifecycle-transition costs of bringing
+	// a hot-plugged device to Live (config-space setup, MSI-X table init)
+	// and of tearing one down after surprise removal (route teardown,
+	// draining in-flight invalidations). Charged to the Recovery component.
+	HotAttach uint64
+	HotDetach uint64
 }
 
 // DefaultModel returns the cost model calibrated to the paper's mlx setup.
@@ -147,6 +177,15 @@ func DefaultModel() Model {
 		RUnmapFixed:      35,
 		IOTLBMiss:        1532,
 		RIOTLBFetch:      180,
+		IRTEWalk:         320,
+		IRTECacheHit:     24,
+		IECInvEntry:      1830,
+		IECGlobalFlush:   1950,
+		IECDeferOp:       9,
+		IntDeliver:       640,
+		IntPost:          150,
+		HotAttach:        30000,
+		HotDetach:        42000,
 	}
 }
 
@@ -166,6 +205,8 @@ func (m Model) Scaled(f float64) Model {
 		&m.PTELevelWrite, &m.PTELevelWalk, &m.PTEMapInit, &m.MapFixed,
 		&m.UnmapFixed, &m.DeferUnmapExtra, &m.RMapAllocFixed, &m.RPTEWrite,
 		&m.RMapFixed, &m.RUnmapFreeFixed, &m.RUnmapFixed,
+		&m.IECInvEntry, &m.IECGlobalFlush, &m.IECDeferOp,
+		&m.IntDeliver, &m.IntPost, &m.HotAttach, &m.HotDetach,
 	} {
 		scale(v)
 	}

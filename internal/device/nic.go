@@ -69,11 +69,24 @@ var ProfileBRCM = NICProfile{
 	CostScale:        0.5,
 }
 
+// IRQLine is the device's interrupt pin-pair: the NIC raises Rx/Tx
+// completion interrupts through it when work completes. A nil line means
+// interrupts are not modeled (legacy polling configurations) and raising is
+// a no-op, so wiring interrupts is strictly opt-in.
+type IRQLine interface {
+	RaiseRx()
+	RaiseTx()
+}
+
 // NIC is the device-side model: it consumes Tx descriptors in ring order,
 // fetching packet payloads by DMA, and deposits received packets into the
 // posted Rx buffers in ring order.
 type NIC struct {
 	Profile NICProfile
+
+	// IRQ, when non-nil, receives a completion raise per transmitted burst
+	// and per delivered packet.
+	IRQ IRQLine
 
 	bdf pci.BDF
 	eng *dma.Engine
@@ -215,6 +228,9 @@ func (n *NIC) ProcessTx(maxPackets int) (int, error) {
 		n.TxPackets++
 		sent++
 	}
+	if sent > 0 && n.IRQ != nil {
+		n.IRQ.RaiseTx()
+	}
 	return sent, nil
 }
 
@@ -263,6 +279,9 @@ func (n *NIC) DeliverPacket(data []byte) error {
 		n.RxBytes += uint64(len(piece))
 	}
 	n.RxPackets++
+	if n.IRQ != nil {
+		n.IRQ.RaiseRx()
+	}
 	return nil
 }
 

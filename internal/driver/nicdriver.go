@@ -27,6 +27,17 @@ func RIOMMURingSizes(p device.NICProfile) []uint32 {
 	return RIOMMURingSizesQ(p, 1)
 }
 
+// QueueIRQ is the driver's view of one queue's interrupt state: firing
+// delivers any pending completion interrupt through the remapping hardware
+// when the handler services the queue, and Drop discards pending state on a
+// queue reset so a recovered queue never replays pre-reset completions.
+// A nil QueueIRQ means interrupts are not modeled.
+type QueueIRQ interface {
+	FireRx()
+	FireTx()
+	Drop() int
+}
+
 // mapped tracks one live target-buffer mapping (or an inline descriptor,
 // which has no mapping at all).
 type mapped struct {
@@ -59,6 +70,8 @@ type NICDriver struct {
 	txReap  uint32   // next Tx slot to reap
 
 	staticIOVAs []mapped // persistent ring-page mappings
+
+	irq QueueIRQ // nil: interrupts not modeled
 
 	// Statistics.
 	TxQueued   uint64
@@ -127,6 +140,21 @@ func (d *NICDriver) TxRing() *ring.Ring { return d.tx }
 
 // Profile returns the NIC profile.
 func (d *NICDriver) Profile() device.NICProfile { return d.profile }
+
+// SetIRQ wires the queue's interrupt source into both halves of the path:
+// the driver fires/drops it, and — when the source is also a device-side
+// IRQ line — the NIC model raises it on completions.
+func (d *NICDriver) SetIRQ(irq QueueIRQ) {
+	d.irq = irq
+	if line, ok := irq.(device.IRQLine); ok {
+		d.nic.IRQ = line
+	} else if irq == nil {
+		d.nic.IRQ = nil
+	}
+}
+
+// IRQ returns the wired interrupt source (nil when not modeled).
+func (d *NICDriver) IRQ() QueueIRQ { return d.irq }
 
 // postRxBuffer maps one fresh buffer and posts it to the Rx ring.
 func (d *NICDriver) postRxBuffer() error {
@@ -261,6 +289,9 @@ func (d *NICDriver) PumpTx(maxPackets int) (int, error) {
 // in ring order, unmapping each buffer and marking the burst end on the
 // last one, then returns buffers to the pool. Returns packets reaped.
 func (d *NICDriver) ReapTx() (int, error) {
+	if d.irq != nil {
+		d.irq.FireTx()
+	}
 	var done []uint32
 	for d.txReap != d.tx.Head() {
 		desc, err := d.tx.ReadSlot(d.txReap)
@@ -317,6 +348,9 @@ func (d *NICDriver) Deliver(frame []byte) error {
 // hand upstream, returns the buffer to the pool, and reposts a freshly
 // mapped buffer. It returns the received frames.
 func (d *NICDriver) ReapRx() ([][]byte, error) {
+	if d.irq != nil {
+		d.irq.FireRx()
+	}
 	var done []uint32
 	for d.rxReap != d.rx.Head() {
 		desc, err := d.rx.ReadSlot(d.rxReap)
@@ -378,6 +412,12 @@ func (d *NICDriver) ReapRx() ([][]byte, error) {
 // the mapping state inconsistent.
 func (d *NICDriver) Recover() error {
 	d.nic.ResetDevice()
+	// A queue reset forfeits its in-flight completions: any latched
+	// interrupt refers to descriptors the reset is about to destroy, so
+	// delivering it later would replay pre-reset state.
+	if d.irq != nil {
+		d.irq.Drop()
+	}
 	for slot := range d.txSlots {
 		m := d.txSlots[slot]
 		if m.live && !m.inline {
@@ -415,6 +455,9 @@ func (d *NICDriver) Progress() uint64 { return d.nic.TxPackets + d.nic.RxPackets
 // Rx ring refilled under the new one.
 func (d *NICDriver) Reattach(prot Protection) error {
 	d.nic.ResetDevice()
+	if d.irq != nil {
+		d.irq.Drop() // ring reset: pending completions are void
+	}
 	for slot := range d.txSlots {
 		m := d.txSlots[slot]
 		if m.live && !m.inline {
@@ -459,6 +502,9 @@ func (d *NICDriver) Reattach(prot Protection) error {
 func (d *NICDriver) Teardown() error {
 	if _, err := d.PumpTx(int(d.tx.Pending())); err != nil {
 		return err
+	}
+	if d.irq != nil {
+		defer d.irq.Drop()
 	}
 	if _, err := d.ReapTx(); err != nil {
 		return err

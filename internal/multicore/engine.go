@@ -6,6 +6,7 @@ import (
 	"riommu/internal/cycles"
 	"riommu/internal/device"
 	"riommu/internal/driver"
+	"riommu/internal/intremap"
 	"riommu/internal/netstack"
 	"riommu/internal/pci"
 	"riommu/internal/perfmodel"
@@ -31,6 +32,11 @@ type Params struct {
 	// take DefaultLockParams. The lock wraps the baseline modes' shared
 	// protection driver only — rIOMMU and none run lock-free.
 	Lock LockParams
+	// IntRemap models MSI-X completion interrupts: queue i's vectors are
+	// remapped (posted-format) to core i, and each delivery's dispatch cost
+	// lands on the receiving core's virtual timeline. Off by default, which
+	// keeps historical scale-out numbers bit-identical.
+	IntRemap bool
 }
 
 // CoreResult is one core's measured steady state.
@@ -54,6 +60,8 @@ type Result struct {
 	MeanCyclesPerPacket float64
 	// Lock is the shared-structure lock's tally (zero for lock-free modes).
 	Lock LockStats
+	// Int is the interrupt remapper's tally (zero unless Params.IntRemap).
+	Int intremap.Stats
 }
 
 // ContendedMode reports whether the mode serializes map/unmap on shared OS
@@ -137,6 +145,21 @@ func Run(p Params) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	if p.IntRemap {
+		if _, err := sys.EnableIntRemap(); err != nil {
+			return Result{}, err
+		}
+		// Posted delivery into per-core timelines: the reap paths run under
+		// the owning core's restored clock, so each dispatch charge lands
+		// exactly on the core the IRTE targets.
+		for i, drv := range mq.Queues {
+			src, err := sys.IntRemap.NewSource(mqBDF, i, i, true)
+			if err != nil {
+				return Result{}, err
+			}
+			drv.SetIRQ(src)
+		}
+	}
 
 	np := connParams(qp)
 	conns := make([]*netstack.Conn, p.Cores)
@@ -204,6 +227,9 @@ func Run(p Params) (Result, error) {
 	}
 
 	res := Result{PerCore: make([]CoreResult, p.Cores), Lock: lock.Stats}
+	if sys.IntRemap != nil {
+		res.Int = sys.IntRemap.Stats()
+	}
 	var sumC, aggPkts float64
 	for i := range snaps {
 		pkts := conns[i].DataPackets - base[i]

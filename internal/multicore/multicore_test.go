@@ -152,6 +152,46 @@ func TestStrictFlattens(t *testing.T) {
 	}
 }
 
+// TestIntRemapPostedDelivery: with interrupt remapping on, the scale-out run
+// posts completion interrupts into per-core timelines — deliveries happen,
+// nothing is blocked, posted-format is used throughout, and the run stays
+// bit-deterministic. With it off, results are bit-identical to a plain run
+// (historical numbers unmoved).
+func TestIntRemapPostedDelivery(t *testing.T) {
+	p := quickParams(sim.RIOMMU, 4)
+	p.IntRemap = true
+	a, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Int.Delivered == 0 || a.Int.PostedDeliv != a.Int.Delivered {
+		t.Fatalf("posted delivery stats wrong: %+v", a.Int)
+	}
+	if a.Int.Blocked() != 0 || a.Int.StaleDelivered != 0 {
+		t.Fatalf("clean run blocked/stale interrupts: %+v", a.Int)
+	}
+	b, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("interrupt-remapped runs diverged:\n%+v\n%+v", a, b)
+	}
+
+	plain, err := Run(quickParams(sim.RIOMMU, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Int.Delivered != 0 {
+		t.Fatalf("plain run delivered interrupts: %+v", plain.Int)
+	}
+	// Interrupt dispatch costs must show up: remapped cores run slower.
+	if a.MeanCyclesPerPacket <= plain.MeanCyclesPerPacket {
+		t.Fatalf("interrupt dispatch cost invisible: remapped C=%.1f <= plain C=%.1f",
+			a.MeanCyclesPerPacket, plain.MeanCyclesPerPacket)
+	}
+}
+
 func TestRunRejectsBadCores(t *testing.T) {
 	if _, err := Run(Params{Mode: sim.RIOMMU, Profile: device.ProfileMLX, Cores: 0}); err == nil {
 		t.Fatal("Run accepted zero cores")

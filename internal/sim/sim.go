@@ -23,6 +23,7 @@ import (
 	"riommu/internal/dma"
 	"riommu/internal/driver"
 	"riommu/internal/faults"
+	"riommu/internal/intremap"
 	"riommu/internal/iommu"
 	"riommu/internal/mem"
 	"riommu/internal/pagetable"
@@ -113,6 +114,15 @@ type System struct {
 	// Auditor is the shadow translation oracle installed by EnableAudit
 	// (nil when auditing is disabled).
 	Auditor *audit.Oracle
+
+	// IntRemap is the interrupt-remapping unit installed by EnableIntRemap
+	// (nil: interrupts not modeled). IntAuditor is its shadow oracle,
+	// installed by EnableIntAudit.
+	IntRemap   *intremap.Remapper
+	IntAuditor *audit.IntOracle
+
+	intSources map[pci.BDF][]*intremap.Source
+	lifecycles map[pci.BDF]*Lifecycle
 
 	// Protections records the protection driver created for each device,
 	// so experiments can reach mode-specific knobs (e.g. the deferred
