@@ -6,7 +6,7 @@ WALLCLOCK_PATTERN ?= MapUnmap|Rtranslate|^BenchmarkWalk$$|^BenchmarkIOTLB$$|Camp
 
 COVER_FLOOR ?= 75.0
 
-.PHONY: all build test tier1 vet fmt-check race ci ci-local cover equivalence fuzz fuzz-smoke bench-json bench-check bench-wallclock bench-wallclock-baseline alloc-check profile audit hotplug clean
+.PHONY: all build test tier1 vet fmt-check race ci ci-local cover equivalence fuzz fuzz-smoke bench-json bench-check bench-wallclock bench-wallclock-baseline alloc-check profile audit hotplug tenants clean
 
 all: tier1
 
@@ -36,7 +36,7 @@ race:
 ci: build vet race
 
 # ci-local mirrors every gate of .github/workflows/ci.yml in one invocation.
-ci-local: build vet fmt-check test race equivalence fuzz-smoke bench-check alloc-check cover audit hotplug
+ci-local: build vet fmt-check test race equivalence fuzz-smoke bench-check alloc-check cover audit hotplug tenants
 
 # equivalence runs the mode-equivalence property suite under the race
 # detector: every protection mode must produce byte-identical Tx/Rx payloads
@@ -74,17 +74,28 @@ hotplug:
 	$(GO) run -race ./cmd/riommu-faults \
 		-rounds 24 -rates 0 -modes strict -intchaos all -hotplug all > /dev/null
 
+# tenants is the cross-tenant gate: a quick hostile-tenant campaign (nested
+# two-stage translation + per-tenant frame-ownership oracle + tenant-scoped
+# circuit breakers) built with the race detector. The command exits non-zero
+# if any attack crosses a tenant boundary, if the hostile tenant escapes
+# quarantine, or if any victim tenant dips below 100% availability.
+tenants:
+	$(GO) run -race ./cmd/riommu-faults \
+		-rounds 30 -rates 0 -modes strict -tenants 3 -tenantchaos all > /dev/null
+
 # Short bounded runs of the fault-determinism and IRTE-allocator fuzzers
 # (the seed corpora also run as part of plain `go test`).
 fuzz:
 	$(GO) test ./internal/sim/ -run FuzzFaultDeterminism -fuzz FuzzFaultDeterminism -fuzztime 20s
 	$(GO) test ./internal/intremap/ -run FuzzIRTEAllocator -fuzz FuzzIRTEAllocator -fuzztime 20s
+	$(GO) test ./internal/tenant/ -run FuzzStage2Walk -fuzz FuzzStage2Walk -fuzztime 20s
 
 # fuzz-smoke is the CI-sized variant: long enough to execute the engines on
 # generated inputs, short enough for every push.
 fuzz-smoke:
 	$(GO) test ./internal/sim/ -run FuzzFaultDeterminism -fuzz FuzzFaultDeterminism -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/intremap/ -run FuzzIRTEAllocator -fuzz FuzzIRTEAllocator -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/tenant/ -run FuzzStage2Walk -fuzz FuzzStage2Walk -fuzztime $(FUZZTIME)
 
 # bench-json regenerates the committed benchmark golden. Run it (and commit
 # the result) whenever an intentional change moves any cell metric. The

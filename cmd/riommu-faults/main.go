@@ -10,6 +10,7 @@
 //	riommu-faults [-seed N] [-rates r1,r2,...] [-modes m1,m2,...] [-rounds N]
 //	              [-parallel N] [-json FILE] [-audit] [-chaos s1,s2,...|all]
 //	              [-cores n1,n2,...] [-intchaos s1,s2,...|all] [-hotplug s1,s2,...|all]
+//	              [-tenants n1,n2,...] [-tenantchaos s1,s2,...|all]
 //
 // -cores adds multi-queue scale-out cells: for each width > 1, every mode x
 // rate combination soaks an MQNIC with that many queue pairs under one
@@ -24,6 +25,14 @@
 // the deferred ones, quarantined by the supervisor's circuit breaker.
 // -chaos implies -audit. After an audited run the isolation gate is
 // enforced: any violation in a gap-free mode fails the command.
+//
+// -tenants adds multi-tenant two-stage cells: for each guest count >= 2,
+// every hostile-tenant scenario (-tenantchaos, default all: stage-2 stale
+// replay, GPA overreach, BDF spoofing, invalidation-queue flooding) runs
+// against every presentation mode with that many guests sharing one
+// hypervisor. Tenant 0 is hostile; the cross-tenant gate then requires
+// zero cross-tenant accesses, the hostile tenant quarantined, and every
+// victim tenant at exactly 100% availability — any miss fails the command.
 //
 // -intchaos adds hostile-MSI interrupt cells (unmapped-vector storms,
 // spoofed-requester messages, stale-IRTE replay) across all seven
@@ -100,6 +109,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		coresArg = fs.String("cores", "", "comma-separated multi-queue scale-out widths (e.g. \"2,4\"); adds mode x rate cells on an MQNIC with that many queue pairs")
 		intArg   = fs.String("intchaos", "", "comma-separated hostile-MSI interrupt scenarios, or \"all\" (implies -audit)")
 		plugArg  = fs.String("hotplug", "", "comma-separated hot-plug storm scenarios, or \"all\" (implies -audit)")
+		tenArg   = fs.String("tenants", "", "comma-separated guest counts (e.g. \"3,8\"); adds hostile-tenant two-stage cells and enforces the cross-tenant gate")
+		tchArg   = fs.String("tenantchaos", "", "comma-separated hostile-tenant scenarios, or \"all\" (default all when -tenants is set)")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile (runtime/pprof) to this file")
 		memProf  = fs.String("memprofile", "", "write an allocs heap profile to this file on exit")
 	)
@@ -163,6 +174,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 		*auditOn = true
 	}
 
+	tenants, err := campaign.ParseTenants(*tenArg)
+	if err != nil {
+		fmt.Fprintln(stderr, "riommu-faults:", err)
+		return 2
+	}
+	var tenantScenarios []chaos.TenantScenario
+	if *tchArg != "" {
+		if len(tenants) == 0 {
+			fmt.Fprintln(stderr, "riommu-faults: -tenantchaos requires -tenants")
+			return 2
+		}
+		tenantScenarios, err = chaos.ParseTenant(*tchArg)
+		if err != nil {
+			fmt.Fprintln(stderr, "riommu-faults:", err)
+			return 2
+		}
+	}
+
 	opts := campaign.Options{
 		Seed:     *seed,
 		Rates:    rs,
@@ -174,6 +203,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Cores:    cores,
 		IntChaos: intScenarios,
 		Hotplug:  plugScenarios,
+		Tenants:  tenants,
+		// Run defaults TenantChaos to every scenario when Tenants is set.
+		TenantChaos: tenantScenarios,
 	}
 	res, err := campaign.Run(opts)
 	if parallel.Interrupted() {
@@ -229,6 +261,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		fmt.Fprintln(stderr, "riommu-faults: interrupt gate passed")
+	}
+	if len(tenants) > 0 {
+		if fails := res.CrossTenantViolationsGate(); len(fails) != 0 {
+			for _, f := range fails {
+				fmt.Fprintln(stderr, "riommu-faults: cross-tenant gate:", f)
+			}
+			fmt.Fprintf(stderr, "riommu-faults: cross-tenant gate failed (%d violation(s))\n", len(fails))
+			return 1
+		}
+		fmt.Fprintln(stderr, "riommu-faults: cross-tenant gate passed")
 	}
 	return 0
 }

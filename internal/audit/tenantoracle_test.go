@@ -1,0 +1,146 @@
+package audit
+
+import (
+	"testing"
+
+	"riommu/internal/cycles"
+	"riommu/internal/mem"
+	"riommu/internal/pci"
+)
+
+func s2Oracle() *TenantOracle {
+	return NewTenantOracle(&cycles.Clock{})
+}
+
+func TestTenantReasonsOrder(t *testing.T) {
+	want := []string{ReasonCrossTenant, ReasonUnownedFrame, ReasonStage2Stale, ReasonStage2Mismatch}
+	got := TenantReasons()
+	if len(got) != len(want) {
+		t.Fatalf("TenantReasons = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TenantReasons[%d] = %s, want %s (order is part of the report schema)", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTenantOracleCleanAccess(t *testing.T) {
+	o := s2Oracle()
+	bdf := pci.NewBDF(1, 0, 0)
+	f := mem.PFN(100)
+	o.OnOwn(f, 1)
+	o.OnS2Map(1, 0x3000, f)
+	o.VerifyStage2(1, bdf, 0x3040, f.PA()+0x40, 64, pci.DirBidi)
+	if o.Checked != 1 || o.Violations != 0 {
+		t.Fatalf("clean access flagged: checked=%d violations=%d %v", o.Checked, o.Violations, o.Events)
+	}
+}
+
+func TestTenantOracleClasses(t *testing.T) {
+	bdf := pci.NewBDF(1, 0, 0)
+	cases := []struct {
+		name   string
+		setup  func(o *TenantOracle)
+		gpa    uint64
+		hpa    mem.PA
+		reason string
+		owner  int
+	}{
+		{
+			name: "cross-tenant",
+			setup: func(o *TenantOracle) {
+				o.OnOwn(200, 2) // the frame belongs to tenant 2
+			},
+			gpa: 0x5000, hpa: mem.PFN(200).PA(),
+			reason: ReasonCrossTenant, owner: 2,
+		},
+		{
+			name:  "unowned-frame",
+			setup: func(o *TenantOracle) {},
+			gpa:   0x5000, hpa: mem.PFN(300).PA(),
+			reason: ReasonUnownedFrame, owner: -1,
+		},
+		{
+			name: "stage2-stale",
+			setup: func(o *TenantOracle) {
+				o.OnOwn(400, 1) // own frame, but the GPA page is unmapped
+			},
+			gpa: 0x5000, hpa: mem.PFN(400).PA(),
+			reason: ReasonStage2Stale, owner: 1,
+		},
+		{
+			name: "stage2-mismatch-frame",
+			setup: func(o *TenantOracle) {
+				o.OnOwn(500, 1)
+				o.OnOwn(501, 1)
+				o.OnS2Map(1, 0x5000, 501) // page maps to 501, hardware said 500
+			},
+			gpa: 0x5000, hpa: mem.PFN(500).PA(),
+			reason: ReasonStage2Mismatch, owner: 1,
+		},
+		{
+			name: "stage2-mismatch-offset",
+			setup: func(o *TenantOracle) {
+				o.OnOwn(600, 1)
+				o.OnS2Map(1, 0x5000, 600)
+			},
+			gpa: 0x5040, hpa: mem.PFN(600).PA() + 0x80, // offset not preserved
+			reason: ReasonStage2Mismatch, owner: 1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := s2Oracle()
+			tc.setup(o)
+			o.VerifyStage2(1, bdf, tc.gpa, tc.hpa, 64, pci.DirToDevice)
+			if o.Violations != 1 || o.ByReason[tc.reason] != 1 {
+				t.Fatalf("violations=%d ByReason=%v, want one %s", o.Violations, o.ByReason, tc.reason)
+			}
+			if len(o.Events) != 1 {
+				t.Fatalf("events = %v", o.Events)
+			}
+			ev := o.Events[0]
+			if ev.Reason != tc.reason || ev.Tenant != 1 || ev.Owner != tc.owner || ev.BDF != bdf {
+				t.Fatalf("event = %+v", ev)
+			}
+			wantCross := uint64(0)
+			if tc.reason == ReasonCrossTenant {
+				wantCross = 1
+			}
+			if o.CrossTenant != wantCross {
+				t.Fatalf("CrossTenant = %d, want %d", o.CrossTenant, wantCross)
+			}
+		})
+	}
+}
+
+// TestTenantOracleGroundTruthTracking: disown and unmap must actually
+// retract the shadow state, and the event buffer must stay capped.
+func TestTenantOracleGroundTruthTracking(t *testing.T) {
+	o := s2Oracle()
+	bdf := pci.NewBDF(1, 0, 0)
+	f := mem.PFN(700)
+	o.OnOwn(f, 3)
+	o.OnS2Map(3, 0x9000, f)
+	o.OnS2Unmap(3, 0x9000)
+	o.VerifyStage2(3, bdf, 0x9000, f.PA(), 64, pci.DirFromDevice)
+	if o.ByReason[ReasonStage2Stale] != 1 {
+		t.Fatalf("unmapped page not flagged stale: %v", o.ByReason)
+	}
+	o.OnDisown(f)
+	o.VerifyStage2(3, bdf, 0x9000, f.PA(), 64, pci.DirFromDevice)
+	if o.ByReason[ReasonUnownedFrame] != 1 {
+		t.Fatalf("disowned frame not flagged: %v", o.ByReason)
+	}
+	if o.Owns != 1 || o.Disowns != 1 || o.S2Maps != 1 || o.S2Unmaps != 1 {
+		t.Fatalf("ground-truth counters: %+v", o)
+	}
+
+	for i := 0; i < 2*tenantEventCap; i++ {
+		o.VerifyStage2(3, bdf, uint64(i)<<mem.PageShift, mem.PFN(9000+i).PA(), 64, pci.DirBidi)
+	}
+	if len(o.Events) != tenantEventCap {
+		t.Fatalf("event buffer grew to %d, cap is %d", len(o.Events), tenantEventCap)
+	}
+}

@@ -138,6 +138,25 @@ func ParseCores(s string) ([]int, error) {
 	return out, nil
 }
 
+// ParseTenants parses a comma-separated list of tenant counts ("" → none).
+func ParseTenants(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("bad tenants value %q: %w", f, err)
+		}
+		if n < 2 || n > 512 {
+			return nil, fmt.Errorf("tenants %d out of [2,512]", n)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
 // ParseRates parses a comma-separated list of per-opportunity fault rates.
 func ParseRates(s string) ([]float64, error) {
 	var out []float64
@@ -182,6 +201,14 @@ type Options struct {
 	// against every presentation mode, driving the lifecycle state machine
 	// under audit.
 	Hotplug []string
+	// Tenants appends multi-tenant cells: for each entry ≥ 2, every hostile-
+	// tenant scenario in TenantChaos runs against every presentation mode
+	// with that many guests sharing one hypervisor (tenant 0 hostile, the
+	// rest victims). Tenant cells are always audited at both stages.
+	Tenants []int
+	// TenantChaos selects the hostile-tenant scenarios the Tenants axis
+	// sweeps (defaults to all when Tenants is set and this is empty).
+	TenantChaos []chaos.TenantScenario
 }
 
 // Key identifies one campaign cell.
@@ -202,10 +229,18 @@ type Key struct {
 	// single-queue cells, so their identities — and hence per-cell seeds —
 	// are unchanged).
 	Cores int
+	// Tenants marks a multi-tenant two-stage cell (0 for every
+	// single-tenant cell, so legacy identities and seeds are unchanged);
+	// TenantScenario names its hostile-tenant behavior.
+	Tenants        int
+	TenantScenario string
 }
 
 // String is the cell's stable identity; per-cell seeds derive from it.
 func (k Key) String() string {
+	if k.Tenants > 0 {
+		return fmt.Sprintf("%s/%s/tenants=%d/tchaos=%s", k.Device, k.Mode, k.Tenants, k.TenantScenario)
+	}
 	if k.Cores > 1 {
 		return fmt.Sprintf("%s/%s/cores=%d/r=%g", k.Device, k.Mode, k.Cores, k.Rate)
 	}
@@ -261,6 +296,30 @@ type CellMetrics struct {
 	Removals        uint64
 	Quarantines     uint64
 	GhostDeliveries uint64 // interrupts delivered while the slot was removed
+
+	// Tenant cells only: the hypervisor-level truth. TenantChecked /
+	// TenantViolations / CrossTenant come from the tenant oracle (stage-2
+	// accesses verified against the host's frame-ownership ledger);
+	// CrossTenant ≠ 0 means a DMA reached another tenant's frame — the one
+	// number the whole design exists to keep at zero.
+	TenantChecked    uint64
+	TenantViolations uint64
+	CrossTenant      uint64
+	TenantByReason   map[string]uint64
+	// Stage-2 path counters summed over every domain, plus the cycles the
+	// host's stage2 clock component accumulated.
+	S2Hits, S2Misses uint64
+	S2Faults         uint64
+	S2Cycles         uint64
+	SpoofBlocked     uint64 // DMAs refused by the device directory / stage 1
+	Ballooned        uint64 // balloon pages the host actually remapped
+	Throttled        uint64 // balloon hypercalls bounced by the quota
+	// TenantQuarantines counts tenant-wide guard trips; the availability
+	// pair is the blast-radius verdict: the hostile tenant pays with
+	// downtime, every victim must stay at exactly 1.0.
+	TenantQuarantines   uint64
+	HostileAvailability float64
+	VictimAvailability  float64
 }
 
 // Result pairs the grid with its measurements, cell i of Keys in Cells[i].
@@ -324,6 +383,22 @@ func (o Options) Grid() []Key {
 			keys = append(keys, Key{Device: "nic", Mode: m, Hotplug: sc})
 		}
 	}
+	// The multi-tenant sweep is appended last so every pre-existing cell
+	// keeps its grid position: turning tenancy on is a pure insertion.
+	tchaos := o.TenantChaos
+	if len(o.Tenants) > 0 && len(tchaos) == 0 {
+		tchaos = chaos.TenantScenarios()
+	}
+	for _, n := range o.Tenants {
+		if n < 2 {
+			continue
+		}
+		for _, sc := range tchaos {
+			for _, m := range sim.AllModes() {
+				keys = append(keys, Key{Device: "nic", Mode: m, Tenants: n, TenantScenario: string(sc)})
+			}
+		}
+	}
 	return keys
 }
 
@@ -348,6 +423,8 @@ func Run(opts Options) (Result, error) {
 			err error
 		)
 		switch {
+		case k.Tenants > 0:
+			c, err = tenantCell(k.Mode, chaos.TenantScenario(k.TenantScenario), seed, opts.Rounds, k.Tenants)
 		case k.Scenario != "":
 			c, err = chaosCell(k.Mode, chaos.Scenario(k.Scenario), seed, opts.Rounds)
 		case k.IntScenario != "":
@@ -1306,6 +1383,33 @@ func (r Result) Render() string {
 		}
 		b.WriteByte('\n')
 		b.WriteString(hpTab.String())
+	}
+
+	hasTenants := false
+	for _, k := range r.Keys {
+		if k.Tenants > 0 {
+			hasTenants = true
+			break
+		}
+	}
+	if hasTenants {
+		tTab := stats.NewTable(
+			fmt.Sprintf("Multi-tenant campaign — hostile tenant 0, %d rounds/cell", r.Opts.Rounds),
+			"mode", "scenario", "tenants", "attempts", "contained", "xten", "tviol", "s2miss", "spoofblk", "throttle", "quar", "victim avail", "hostile avail")
+		tTab.AlignLeft(0).AlignLeft(1)
+		for i, k := range r.Keys {
+			if k.Tenants == 0 {
+				continue
+			}
+			c := r.Cells[i]
+			tTab.Row(k.Mode.String(), k.TenantScenario, k.Tenants, c.Chaos.Attempts,
+				c.Chaos.Contained, c.CrossTenant, c.TenantViolations, c.S2Misses,
+				c.SpoofBlocked, c.Throttled, c.TenantQuarantines,
+				fmt.Sprintf("%.4f", c.VictimAvailability),
+				fmt.Sprintf("%.4f", c.HostileAvailability))
+		}
+		b.WriteByte('\n')
+		b.WriteString(tTab.String())
 	}
 	return b.String()
 }

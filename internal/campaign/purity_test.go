@@ -1,0 +1,69 @@
+package campaign
+
+import (
+	"bytes"
+	"testing"
+
+	"riommu/internal/chaos"
+	"riommu/internal/sim"
+)
+
+// TestTenantReportPurity is the byte-level companion to
+// TestTenantGridAppended: switching the tenant axis on must leave every
+// pre-existing cell's marshalled report bytes untouched. Grid position
+// stability alone is not enough — a shared-state leak (clock, allocator,
+// RNG) between tenant and legacy cells would show up here as a metric
+// drift even with identical keys.
+func TestTenantReportPurity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two campaign sweeps in -short")
+	}
+	base := Options{
+		Seed:    31,
+		Rates:   []float64{0, 0.001},
+		Modes:   []sim.Mode{sim.Strict, sim.RIOMMU},
+		Rounds:  10,
+		Workers: 4,
+		Audit:   true,
+	}
+	ext := base
+	ext.Tenants = []int{2}
+	ext.TenantChaos = []chaos.TenantScenario{chaos.S2StaleReplay}
+
+	resBase, err := Run(base)
+	if err != nil {
+		t.Fatalf("base Run: %v", err)
+	}
+	resExt, err := Run(ext)
+	if err != nil {
+		t.Fatalf("extended Run: %v", err)
+	}
+	repBase := BuildReport(resBase)
+	repExt := BuildReport(resExt)
+	n := len(repBase.Cells)
+	if len(repExt.Cells) <= n {
+		t.Fatalf("extended report not larger: %d vs %d cells", len(repExt.Cells), n)
+	}
+
+	// Compare at the canonical byte level: truncate the extended report to
+	// the legacy cells and the two documents must be identical.
+	trunc := repExt
+	trunc.Cells = repExt.Cells[:n]
+	wantB, err := MarshalReport(repBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotB, err := MarshalReport(trunc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantB, gotB) {
+		t.Fatalf("legacy cells drifted when the tenant axis was enabled:\nbase:\n%s\nextended (truncated):\n%s", wantB, gotB)
+	}
+
+	for _, c := range repExt.Cells[n:] {
+		if _, ok := c.Metrics["cross_tenant"]; !ok {
+			t.Fatalf("appended tenant cell %s is missing cross_tenant metric", c.ID)
+		}
+	}
+}

@@ -81,6 +81,27 @@ func BuildReport(r Result) Report {
 				m["intviol_"+reason] = float64(c.IntByReason[reason])
 			}
 		}
+		if k.Tenants > 0 {
+			m["tenant_checked"] = float64(c.TenantChecked)
+			m["tenant_violations"] = float64(c.TenantViolations)
+			m["cross_tenant"] = float64(c.CrossTenant)
+			for _, reason := range audit.TenantReasons() {
+				m["tviol_"+reason] = float64(c.TenantByReason[reason])
+			}
+			m["s2_hits"] = float64(c.S2Hits)
+			m["s2_misses"] = float64(c.S2Misses)
+			m["s2_faults"] = float64(c.S2Faults)
+			m["s2_cycles"] = float64(c.S2Cycles)
+			m["spoof_blocked"] = float64(c.SpoofBlocked)
+			m["ballooned"] = float64(c.Ballooned)
+			m["throttled"] = float64(c.Throttled)
+			m["tenant_quarantines"] = float64(c.TenantQuarantines)
+			m["hostile_availability"] = c.HostileAvailability
+			m["victim_availability"] = c.VictimAvailability
+			m["chaos_attempts"] = float64(c.Chaos.Attempts)
+			m["chaos_contained"] = float64(c.Chaos.Contained)
+			m["chaos_landed"] = float64(c.Chaos.Landed)
+		}
 		if k.Hotplug != "" {
 			m["attaches"] = float64(c.Attaches)
 			m["removals"] = float64(c.Removals)

@@ -24,6 +24,7 @@ import (
 	"riommu/internal/mem"
 	"riommu/internal/pci"
 	"riommu/internal/sim"
+	"riommu/internal/tenant"
 )
 
 // MapEvent is one recorded protection-boundary operation.
@@ -92,6 +93,13 @@ type Config struct {
 	Queues  int
 	Rounds  int
 	Seed    uint64
+	// Tenants, when > 0, runs the workload as tenant 0 of a hypervisor with
+	// nested two-stage translation spliced under the DMA engine (plus
+	// Tenants-1 idle table-only peers sharing the stage-2 machinery). The
+	// trace must be byte-identical to the single-stage run: stage 2 changes
+	// where DMA lands in host memory and what it costs, never what data
+	// moves or which mappings the guest asks for.
+	Tenants int
 }
 
 var equivBDF = pci.NewBDF(0, 3, 0)
@@ -129,6 +137,26 @@ func RunWorkload(mode sim.Mode, cfg Config) (Trace, error) {
 	}
 	defer sys.Close()
 	sys.EnableAudit()
+
+	if cfg.Tenants > 0 {
+		host, err := tenant.NewHost(64 + 8*uint64(cfg.Tenants))
+		if err != nil {
+			return tr, err
+		}
+		defer host.Close()
+		dom, err := host.AdoptSystem(sys)
+		if err != nil {
+			return tr, err
+		}
+		if err := host.Register(dom, equivBDF); err != nil {
+			return tr, err
+		}
+		for i := 1; i < cfg.Tenants; i++ {
+			if _, err := host.AdoptSpace(1 << 9); err != nil {
+				return tr, err
+			}
+		}
+	}
 
 	prot, err := sys.ProtectionFor(equivBDF, driver.RIOMMURingSizesQ(cfg.Profile, cfg.Queues))
 	if err != nil {

@@ -1,0 +1,59 @@
+package check
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"riommu/internal/device"
+	"riommu/internal/sim"
+)
+
+// TestTenantEquivalence is the two-stage transparency property: running the
+// seeded workload as a tenant behind nested GPA→HPA translation (at 2 and 4
+// tenants) must produce a trace byte-identical to the single-stage run in
+// every mode. Stage 2 may change costs and host-frame placement — never the
+// data, the mapping history, or the interrupt log.
+func TestTenantEquivalence(t *testing.T) {
+	for _, mode := range sim.AllModes() {
+		t.Run(mode.String(), func(t *testing.T) {
+			cfg := Config{
+				Profile: smallProfile(device.ProfileBRCM),
+				Queues:  2,
+				Rounds:  48,
+				Seed:    0x7e4a47,
+			}
+			ref, err := RunWorkload(mode, cfg)
+			if err != nil {
+				t.Fatalf("single-stage: %v", err)
+			}
+			if len(ref.TxFrames) != cfg.Rounds || len(ref.RxFrames) == 0 || len(ref.Events) == 0 {
+				t.Fatalf("reference trace is degenerate: %d tx, %d rx, %d events",
+					len(ref.TxFrames), len(ref.RxFrames), len(ref.Events))
+			}
+			for _, tenants := range []int{2, 4} {
+				tcfg := cfg
+				tcfg.Tenants = tenants
+				got, err := RunWorkload(mode, tcfg)
+				if err != nil {
+					t.Fatalf("tenants=%d: %v", tenants, err)
+				}
+				label := sim.Mode(mode)
+				compareFrames(t, label, fmt.Sprintf("tx(tenants=%d)", tenants), ref.TxFrames, got.TxFrames)
+				compareFrames(t, label, fmt.Sprintf("rx(tenants=%d)", tenants), ref.RxFrames, got.RxFrames)
+				if !reflect.DeepEqual(ref.Events, got.Events) {
+					t.Errorf("tenants=%d: mapping history diverges (%d vs %d events)",
+						tenants, len(got.Events), len(ref.Events))
+				}
+				if !reflect.DeepEqual(ref.IntLog, got.IntLog) {
+					t.Errorf("tenants=%d: interrupt log diverges (%d vs %d deliveries)",
+						tenants, len(got.IntLog), len(ref.IntLog))
+				}
+				if got.AuditViolations != 0 || got.IntViolations != 0 {
+					t.Errorf("tenants=%d: %d audit / %d interrupt violations in a benign workload",
+						tenants, got.AuditViolations, got.IntViolations)
+				}
+			}
+		})
+	}
+}

@@ -38,6 +38,7 @@ const (
 	Recovery                        // fault handling: retries, watchdog resets, degradation
 	LockContention                  // multi-core: spinlock acquire + backoff on shared structures
 	IntRemap                        // interrupt remapping: IRTE walks, IEC maintenance, delivery
+	Stage2                          // nested translation: stage-2 (GPA→HPA) walks, TLB upkeep, invalidations
 	numComponents
 )
 
@@ -56,6 +57,7 @@ var componentNames = [...]string{
 	Recovery:       "recovery",
 	LockContention: "lock-contention",
 	IntRemap:       "int-remap",
+	Stage2:         "stage2",
 }
 
 // String returns the stable human-readable name of the component.

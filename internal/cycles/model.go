@@ -140,6 +140,32 @@ type Model struct {
 	IntDeliver     uint64
 	IntPost        uint64
 
+	// Two-stage (nested) translation costs, charged to the Stage2 component
+	// of the hypervisor's clock. The stage-2 table is the same 4-level radix
+	// structure as the baseline IOMMU's, but it is walked by hardware only on
+	// a stage-2 TLB miss and maintained by the hypervisor, not the guest.
+	//
+	// Stage2Walk: a hardware GPA→HPA radix walk on a stage-2 TLB miss.
+	// Cheaper than IOTLBMiss: no context-entry fetch — the device directory
+	// already pinned the domain (cf. the shared stage-2 design of Koenig et
+	// al. for RISC-V SVA IOMMUs).
+	// Stage2InvEntry: invalidating one stage-2 TLB entry through the
+	// per-domain invalidation queue and waiting for completion.
+	// Stage2GlobalFlush: flushing a domain's entire stage-2 TLB (teardown,
+	// or the batch drain of a flooded invalidation queue).
+	// Stage2MapPage / Stage2UnmapPage: hypervisor-side bookkeeping per
+	// stage-2 page beyond the radix-table writes themselves (frame ledger,
+	// ballooning accounting) — the PiBooster-style paravirtual split keeps
+	// these off the guest's map/unmap path entirely.
+	// BalloonOp: the per-page cost of a balloon hypercall, charged to the
+	// calling guest's core (the one stage-2 operation guests can trigger).
+	Stage2Walk        uint64
+	Stage2InvEntry    uint64
+	Stage2GlobalFlush uint64
+	Stage2MapPage     uint64
+	Stage2UnmapPage   uint64
+	BalloonOp         uint64
+
 	// HotAttach / HotDetach are the lifecycle-transition costs of bringing
 	// a hot-plugged device to Live (config-space setup, MSI-X table init)
 	// and of tearing one down after surprise removal (route teardown,
@@ -151,41 +177,47 @@ type Model struct {
 // DefaultModel returns the cost model calibrated to the paper's mlx setup.
 func DefaultModel() Model {
 	return Model{
-		ClockGHz:         3.10,
-		MemoryBarrier:    30,
-		CachelineFlush:   250,
-		IOTLBInvEntry:    2127,
-		IOTLBGlobalFlush: 2150,
-		DeferQueueOp:     9,
-		RBNodeVisit:      60,
-		RBFindVisit:      18,
-		RBInsertFixed:    40,
-		RBEraseFixed:     155,
-		ConstFindVisit:   30,
-		FreelistOp:       46,
-		PTELevelWrite:    50,
-		PTELevelWalk:     25,
-		PTEMapInit:       130,
-		MapFixed:         44,
-		UnmapFixed:       26,
-		DeferUnmapExtra:  180,
-		PassthroughOp:    50,
-		RMapAllocFixed:   25,
-		RPTEWrite:        40,
-		RMapFixed:        40,
-		RUnmapFreeFixed:  15,
-		RUnmapFixed:      35,
-		IOTLBMiss:        1532,
-		RIOTLBFetch:      180,
-		IRTEWalk:         320,
-		IRTECacheHit:     24,
-		IECInvEntry:      1830,
-		IECGlobalFlush:   1950,
-		IECDeferOp:       9,
-		IntDeliver:       640,
-		IntPost:          150,
-		HotAttach:        30000,
-		HotDetach:        42000,
+		ClockGHz:          3.10,
+		MemoryBarrier:     30,
+		CachelineFlush:    250,
+		IOTLBInvEntry:     2127,
+		IOTLBGlobalFlush:  2150,
+		DeferQueueOp:      9,
+		RBNodeVisit:       60,
+		RBFindVisit:       18,
+		RBInsertFixed:     40,
+		RBEraseFixed:      155,
+		ConstFindVisit:    30,
+		FreelistOp:        46,
+		PTELevelWrite:     50,
+		PTELevelWalk:      25,
+		PTEMapInit:        130,
+		MapFixed:          44,
+		UnmapFixed:        26,
+		DeferUnmapExtra:   180,
+		PassthroughOp:     50,
+		RMapAllocFixed:    25,
+		RPTEWrite:         40,
+		RMapFixed:         40,
+		RUnmapFreeFixed:   15,
+		RUnmapFixed:       35,
+		IOTLBMiss:         1532,
+		RIOTLBFetch:       180,
+		IRTEWalk:          320,
+		IRTECacheHit:      24,
+		IECInvEntry:       1830,
+		IECGlobalFlush:    1950,
+		IECDeferOp:        9,
+		IntDeliver:        640,
+		IntPost:           150,
+		Stage2Walk:        1180,
+		Stage2InvEntry:    1940,
+		Stage2GlobalFlush: 2050,
+		Stage2MapPage:     90,
+		Stage2UnmapPage:   70,
+		BalloonOp:         420,
+		HotAttach:         30000,
+		HotDetach:         42000,
 	}
 }
 
@@ -207,6 +239,8 @@ func (m Model) Scaled(f float64) Model {
 		&m.RMapFixed, &m.RUnmapFreeFixed, &m.RUnmapFixed,
 		&m.IECInvEntry, &m.IECGlobalFlush, &m.IECDeferOp,
 		&m.IntDeliver, &m.IntPost, &m.HotAttach, &m.HotDetach,
+		&m.Stage2InvEntry, &m.Stage2GlobalFlush, &m.Stage2MapPage,
+		&m.Stage2UnmapPage, &m.BalloonOp,
 	} {
 		scale(v)
 	}

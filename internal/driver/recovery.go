@@ -187,6 +187,13 @@ type Supervisor struct {
 	// IsolateCycles/ReadmitCycles are charged per quarantine transition.
 	IsolateCycles, ReadmitCycles uint64
 
+	// Guard, when non-nil, is the tenant-scoped circuit breaker shared by
+	// every supervisor of one tenant's devices. It is consulted before the
+	// per-device breaker and fed the outcome of every operation, so any
+	// device of the tenant can spend the tenant's error budget — and a trip
+	// quarantines them all.
+	Guard *TenantGuard
+
 	Stats RecoveryStats
 
 	slo       SLOStats
@@ -278,6 +285,20 @@ func (s *Supervisor) attempt(op func() error) error {
 // device and probes it — success closes the breaker, failure re-isolates
 // with a doubled backoff.
 func (s *Supervisor) Do(op func() error) error {
+	if s.Guard != nil {
+		ok, gerr := s.Guard.Allow(s.clk.Now())
+		if gerr != nil {
+			s.noteOutcome(true)
+			return gerr
+		}
+		if !ok {
+			s.clk.Charge(cycles.Recovery, s.Guard.Breaker.RejectCycles)
+			s.Stats.Rejected++
+			s.record(ActReject)
+			s.noteOutcome(true)
+			return fmt.Errorf("%w: tenant %d: %s", ErrQuarantined, s.Guard.Tenant, s.bdf)
+		}
+	}
 	if s.Breaker != nil {
 		wasOpen := s.Breaker.State() == BreakerOpen
 		if !s.Breaker.Allow(s.clk.Now()) {
@@ -311,6 +332,15 @@ func (s *Supervisor) Do(op func() error) error {
 			}
 		} else {
 			s.Breaker.OnSuccess(s.clk.Now())
+		}
+	}
+	if s.Guard != nil {
+		if err != nil {
+			if gerr := s.Guard.OnFailure(s.clk.Now()); gerr != nil {
+				err = fmt.Errorf("%w; %w", err, gerr)
+			}
+		} else {
+			s.Guard.OnSuccess(s.clk.Now())
 		}
 	}
 	s.noteOutcome(err != nil)

@@ -1,0 +1,99 @@
+package driver
+
+import (
+	"fmt"
+
+	"riommu/internal/cycles"
+)
+
+// TenantGuard is the tenant-scoped circuit breaker: one Breaker shared by
+// every Supervisor of one tenant's devices, with an isolator per device.
+// Failures from any of the tenant's devices spend the same error budget;
+// when it trips, every device of the tenant is quarantined at once —
+// blast-radius control at the tenant boundary, not the device boundary.
+// Supervisors of other tenants never touch this guard, so quarantining
+// tenant A cannot move tenant B's ledgers by even a cycle.
+type TenantGuard struct {
+	// Tenant is the guarded tenant's domain ID (diagnostics only).
+	Tenant int
+	// Breaker holds the trip/backoff policy; replace or tune before use.
+	Breaker *Breaker
+
+	clk       *cycles.Clock
+	isolators []Isolator
+
+	// IsolateCycles/ReadmitCycles are charged (to the guarded tenant's own
+	// clock) per tenant-wide quarantine transition.
+	IsolateCycles, ReadmitCycles uint64
+
+	quarantined bool
+	// Quarantines counts tenant-wide trips; Readmissions successful
+	// probe-driven re-admissions.
+	Quarantines, Readmissions uint64
+}
+
+// NewTenantGuard builds a guard charging the tenant's clock.
+func NewTenantGuard(clk *cycles.Clock, tenant int) *TenantGuard {
+	return &TenantGuard{
+		Tenant:        tenant,
+		Breaker:       NewBreaker(),
+		clk:           clk,
+		IsolateCycles: 20_000,
+		ReadmitCycles: 20_000,
+	}
+}
+
+// AddIsolator registers one device's isolator under the tenant's umbrella.
+func (g *TenantGuard) AddIsolator(iso Isolator) {
+	if iso != nil {
+		g.isolators = append(g.isolators, iso)
+	}
+}
+
+// Quarantined reports whether the tenant is currently isolated.
+func (g *TenantGuard) Quarantined() bool { return g.quarantined }
+
+// Allow gates one operation of any of the tenant's supervisors. A false
+// return means the tenant is quarantined and the operation must fast-fail.
+// When the quarantine backoff has expired, the first Allow re-admits every
+// device (half-open probe); the probing operation's outcome then decides
+// via OnSuccess/OnFailure.
+func (g *TenantGuard) Allow(now uint64) (bool, error) {
+	wasOpen := g.Breaker.State() == BreakerOpen
+	if !g.Breaker.Allow(now) {
+		return false, nil
+	}
+	if wasOpen {
+		g.clk.Charge(cycles.Recovery, g.ReadmitCycles)
+		for _, iso := range g.isolators {
+			if err := iso.Readmit(); err != nil {
+				return false, fmt.Errorf("driver: re-admitting tenant %d: %w", g.Tenant, err)
+			}
+		}
+		g.quarantined = false
+		g.Readmissions++
+	}
+	return true, nil
+}
+
+// OnSuccess reports a successful operation by one of the tenant's devices.
+func (g *TenantGuard) OnSuccess(now uint64) {
+	g.Breaker.OnSuccess(now)
+}
+
+// OnFailure reports a failed operation; when it trips the breaker, every
+// device of the tenant is isolated.
+func (g *TenantGuard) OnFailure(now uint64) error {
+	if !g.Breaker.OnFailure(now) {
+		return nil
+	}
+	g.clk.Charge(cycles.Recovery, g.IsolateCycles)
+	for _, iso := range g.isolators {
+		if err := iso.Isolate(); err != nil {
+			return fmt.Errorf("driver: isolating tenant %d: %w", g.Tenant, err)
+		}
+	}
+	g.quarantined = true
+	g.Quarantines++
+	return nil
+}

@@ -1,0 +1,137 @@
+package driver
+
+import (
+	"errors"
+	"testing"
+
+	"riommu/internal/cycles"
+	"riommu/internal/pci"
+)
+
+// TestTenantGuardTripIsolatesFleet: one shared budget across a tenant's
+// devices; tripping quarantines every device at once.
+func TestTenantGuardTripIsolatesFleet(t *testing.T) {
+	clk := &cycles.Clock{}
+	g := NewTenantGuard(clk, 7)
+	g.Breaker.TripAfter = 3
+	isos := []*fakeIsolator{{}, {}, {}}
+	for _, iso := range isos {
+		g.AddIsolator(iso)
+	}
+	for i := 0; i < 2; i++ {
+		if ok, _ := g.Allow(clk.Now()); !ok {
+			t.Fatalf("failure %d: guard closed early", i)
+		}
+		if err := g.OnFailure(clk.Now()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.Quarantined() {
+		t.Fatal("quarantined before the trip threshold")
+	}
+	if err := g.OnFailure(clk.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Quarantined() || g.Quarantines != 1 {
+		t.Fatalf("third failure did not quarantine (quarantines=%d)", g.Quarantines)
+	}
+	for i, iso := range isos {
+		if !iso.isolated || iso.isolates != 1 {
+			t.Fatalf("isolator %d not isolated exactly once: %+v", i, iso)
+		}
+	}
+	if ok, _ := g.Allow(clk.Now()); ok {
+		t.Fatal("quarantined guard allowed an operation inside the backoff")
+	}
+	if clk.Total(cycles.Recovery) == 0 {
+		t.Fatal("quarantine transition charged nothing")
+	}
+}
+
+// TestTenantGuardReadmission: after the backoff, the first Allow re-admits
+// every device as the probe; a successful probe closes the breaker.
+func TestTenantGuardReadmission(t *testing.T) {
+	clk := &cycles.Clock{}
+	g := NewTenantGuard(clk, 1)
+	g.Breaker.TripAfter = 1
+	g.Breaker.BackoffCycles = 1_000
+	iso := &fakeIsolator{}
+	g.AddIsolator(iso)
+	if _, err := g.Allow(clk.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.OnFailure(clk.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if !iso.isolated {
+		t.Fatal("not isolated after trip")
+	}
+	clk.Charge(cycles.Recovery, 1_000)
+	ok, err := g.Allow(clk.Now())
+	if err != nil || !ok {
+		t.Fatalf("probe refused after backoff: ok=%v err=%v", ok, err)
+	}
+	if iso.isolated || iso.readmits != 1 || g.Readmissions != 1 {
+		t.Fatalf("probe did not re-admit: %+v readmissions=%d", iso, g.Readmissions)
+	}
+	g.OnSuccess(clk.Now())
+	if g.Quarantined() || g.Breaker.State() != BreakerClosed {
+		t.Fatal("successful probe did not close the breaker")
+	}
+}
+
+// TestSupervisorGuardBlastRadius: two supervisors share one guard; failures
+// on one device quarantine both, while a supervisor of another tenant —
+// same clock, no guard — never notices.
+func TestSupervisorGuardBlastRadius(t *testing.T) {
+	clk := &cycles.Clock{}
+	g := NewTenantGuard(clk, 3)
+	g.Breaker.TripAfter = 2
+	isoA, isoB := &fakeIsolator{}, &fakeIsolator{}
+	g.AddIsolator(isoA)
+	g.AddIsolator(isoB)
+
+	mk := func(bdf pci.BDF, guard *TenantGuard) *Supervisor {
+		s := NewSupervisor(clk, bdf, nopRecoverable{})
+		s.Policy.MaxAttempts = 1
+		s.Guard = guard
+		return s
+	}
+	supA := mk(pci.NewBDF(1, 0, 0), g)
+	supB := mk(pci.NewBDF(1, 1, 0), g)
+	other := mk(pci.NewBDF(2, 0, 0), nil)
+
+	boom := errors.New("boom")
+	fail := func() error { return boom }
+	okOp := func() error { return nil }
+
+	if err := supA.Do(fail); !errors.Is(err, boom) {
+		t.Fatalf("first failure: %v", err)
+	}
+	if err := supB.Do(fail); !errors.Is(err, boom) {
+		t.Fatalf("second failure: %v", err)
+	}
+	if !g.Quarantined() {
+		t.Fatal("cross-device failures did not spend the shared budget")
+	}
+	if !isoA.isolated || !isoB.isolated {
+		t.Fatal("trip did not isolate the whole fleet")
+	}
+	if err := supA.Do(okOp); !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("quarantined supervisor ran: %v", err)
+	}
+	if supA.Stats.Rejected != 1 {
+		t.Fatalf("Rejected = %d", supA.Stats.Rejected)
+	}
+	if err := other.Do(okOp); err != nil {
+		t.Fatalf("unguarded tenant affected: %v", err)
+	}
+	if slo := other.SLO(); slo.Outages != 0 || slo.DowntimeCycles != 0 {
+		t.Fatalf("unguarded tenant's SLO moved: %+v", slo)
+	}
+}
+
+type nopRecoverable struct{}
+
+func (nopRecoverable) Recover() error   { return nil }
+func (nopRecoverable) Progress() uint64 { return 0 }

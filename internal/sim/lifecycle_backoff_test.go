@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"riommu/internal/cycles"
+)
+
+// cycleQuarantine walks one remove → quarantine round trip.
+func cycleQuarantine(t *testing.T, lc *Lifecycle) {
+	t.Helper()
+	if lc.State() == Live {
+		if err := lc.SurpriseRemove(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := lc.Quarantine(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuarantineReadmitBackoff: re-admission from quarantine must wait out
+// an exponential virtual-clock backoff that doubles per quarantine and
+// saturates at the cap; a zero backoff keeps the legacy immediate behavior.
+func TestQuarantineReadmitBackoff(t *testing.T) {
+	sys, err := NewSystem(RIOMMU, 1<<13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if _, err := sys.HotAttachMQNIC(smallMQProfile(), bdf, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	lc := sys.LifecycleFor(bdf)
+	lc.ReadmitBackoffCycles = 10_000
+	lc.MaxReadmitBackoffCycles = 25_000
+
+	cycleQuarantine(t, lc)
+	if want := sys.CPU.Now() + 10_000; lc.ReadmitAt() != want {
+		t.Fatalf("first backoff: ReadmitAt = %d, want %d", lc.ReadmitAt(), want)
+	}
+	if err := lc.BeginAttach(); !errors.Is(err, ErrReadmitBackoff) {
+		t.Fatalf("early re-admission: err = %v, want ErrReadmitBackoff", err)
+	}
+	if lc.State() != Quarantined {
+		t.Fatalf("refused re-admission changed state to %s", lc.State())
+	}
+	sys.CPU.Charge(cycles.Recovery, 10_000)
+	if _, err := sys.HotAttachMQNIC(smallMQProfile(), bdf, 1, false); err != nil {
+		t.Fatalf("re-admission after backoff: %v", err)
+	}
+
+	// Second quarantine doubles, third saturates at the cap.
+	cycleQuarantine(t, lc)
+	if want := sys.CPU.Now() + 20_000; lc.ReadmitAt() != want {
+		t.Fatalf("second backoff: ReadmitAt = %d, want %d", lc.ReadmitAt(), want)
+	}
+	sys.CPU.Charge(cycles.Recovery, 20_000)
+	if _, err := sys.HotAttachMQNIC(smallMQProfile(), bdf, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	cycleQuarantine(t, lc)
+	if want := sys.CPU.Now() + 25_000; lc.ReadmitAt() != want {
+		t.Fatalf("capped backoff: ReadmitAt = %d, want %d", lc.ReadmitAt(), want)
+	}
+	sys.CPU.Charge(cycles.Recovery, 25_000)
+	if err := lc.BeginAttach(); err != nil {
+		t.Fatalf("re-admission at the cap: %v", err)
+	}
+}
+
+// TestLifecycleOutageLedger: the cumulative Outages/DowntimeCycles ledger
+// must survive multiple removals of one slot, and MTTR/Availability must be
+// pure functions of the recorded intervals.
+func TestLifecycleOutageLedger(t *testing.T) {
+	sys, err := NewSystem(Strict, 1<<13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if _, err := sys.HotAttachMQNIC(smallMQProfile(), bdf, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	lc := sys.LifecycleFor(bdf)
+
+	var wantDown uint64
+	for i, gap := range []uint64{40_000, 90_000} {
+		if err := lc.SurpriseRemove(); err != nil {
+			t.Fatal(err)
+		}
+		removed := sys.CPU.Now()
+		sys.CPU.Charge(cycles.Recovery, gap)
+		if _, err := sys.HotAttachMQNIC(smallMQProfile(), bdf, 1, false); err != nil {
+			t.Fatal(err)
+		}
+		wantDown += sys.CPU.Now() - removed
+		if lc.Outages != uint64(i+1) {
+			t.Fatalf("after removal %d: Outages = %d", i+1, lc.Outages)
+		}
+	}
+	if lc.DowntimeCycles != wantDown {
+		t.Fatalf("DowntimeCycles = %d, want %d", lc.DowntimeCycles, wantDown)
+	}
+	if got, want := lc.MTTRCycles(), float64(wantDown)/2; got != want {
+		t.Fatalf("MTTR = %v, want %v", got, want)
+	}
+	total := sys.CPU.Now()
+	if got, want := lc.Availability(total), 1-float64(wantDown)/float64(total); got != want {
+		t.Fatalf("Availability = %v, want %v", got, want)
+	}
+
+	// An unrecovered removal counts up to now.
+	if err := lc.SurpriseRemove(); err != nil {
+		t.Fatal(err)
+	}
+	sys.CPU.Charge(cycles.Recovery, 30_000)
+	open := wantDown + 30_000
+	if got, want := lc.Availability(sys.CPU.Now()), 1-float64(open)/float64(sys.CPU.Now()); got != want {
+		t.Fatalf("open-outage Availability = %v, want %v", got, want)
+	}
+}
