@@ -2,11 +2,12 @@ GO ?= go
 FUZZTIME ?= 10s
 BENCH_GOLDEN ?= BENCH_golden.json
 BENCH_WALLCLOCK ?= BENCH_wallclock.txt
-WALLCLOCK_PATTERN ?= MapUnmap|Rtranslate|^BenchmarkWalk$$|^BenchmarkIOTLB$$|CampaignCell
+BENCH_GATE ?= BENCH_gate.json
+WALLCLOCK_PATTERN ?= MapUnmap|Rtranslate|^BenchmarkWalk$$|^BenchmarkIOTLB$$|CampaignCell|EngineReadU64
 
 COVER_FLOOR ?= 75.0
 
-.PHONY: all build test tier1 vet fmt-check race ci ci-local cover equivalence fuzz fuzz-smoke bench-json bench-check bench-wallclock bench-wallclock-baseline alloc-check profile audit hotplug tenants clean
+.PHONY: all build test tier1 vet fmt-check race ci ci-local cover equivalence fuzz fuzz-smoke bench-json bench-check bench-wallclock bench-wallclock-baseline alloc-check grid-full grid-check profile audit hotplug tenants clean
 
 all: tier1
 
@@ -35,8 +36,10 @@ race:
 # race detector.
 ci: build vet race
 
-# ci-local mirrors every gate of .github/workflows/ci.yml in one invocation.
-ci-local: build vet fmt-check test race equivalence fuzz-smoke bench-check alloc-check cover audit hotplug tenants
+# ci-local mirrors every gate of .github/workflows/ci.yml in one invocation
+# (grid-check stands in for the scheduled grid-full job: same byte-identity
+# property, CI-sized rounds).
+ci-local: build vet fmt-check test race equivalence fuzz-smoke bench-check alloc-check cover grid-check audit hotplug tenants
 
 # equivalence runs the mode-equivalence property suite under the race
 # detector: every protection mode must produce byte-identical Tx/Rx payloads
@@ -127,13 +130,15 @@ alloc-check:
 
 # bench-wallclock runs the wall-clock suite (ns/op of the simulator itself,
 # not virtual cycles) and compares against the committed baseline with the
-# in-repo benchdiff tool. The comparison is informational: ns/op depends on
-# the machine, so only a human refreshing the baseline pins absolute numbers.
+# in-repo benchdiff tool. Most rows are informational — ns/op depends on the
+# machine — but the benchmarks named in $(BENCH_GATE) carry per-benchmark
+# regression floors; flipping "enforce" to true in that file turns them into
+# a hard exit-1 gate. allocs/op increases always fail.
 bench-wallclock: build
 	@tmp="$$(mktemp)"; trap 'rm -f "$$tmp"' EXIT; \
 	$(GO) test -run '^$$' -bench '$(WALLCLOCK_PATTERN)' -count=2 . | tee "$$tmp"; \
 	echo ""; \
-	$(GO) run ./cmd/benchdiff $(BENCH_WALLCLOCK) "$$tmp"
+	$(GO) run ./cmd/benchdiff -gate $(BENCH_GATE) $(BENCH_WALLCLOCK) "$$tmp"
 
 # bench-wallclock-baseline regenerates the committed wall-clock baseline. Run
 # it on an otherwise idle machine and commit the result whenever an
@@ -141,6 +146,45 @@ bench-wallclock: build
 # machines; the deltas, not the absolute numbers, are what reviews compare).
 bench-wallclock-baseline: build
 	$(GO) test -run '^$$' -bench '$(WALLCLOCK_PATTERN)' -count=2 . | tee $(BENCH_WALLCLOCK)
+
+# grid-full runs the full-quality fault-campaign grid — every axis the
+# campaign knows (faults, hostile devices, hostile MSIs, hot-plug storms,
+# multi-core scale-out, hostile tenants) at full rounds — as GRID_SHARDS
+# sequential shard passes over one shared checkpoint. Every completed cell is
+# flushed to grid-full.ckpt before the next starts, so an interrupted or
+# wall-clock-budgeted run loses at most one cell: rerunning the same command
+# resumes, and the pass that completes the grid renders the report, writes
+# grid-full.json, and enforces every gate. Cells are pure functions of their
+# key and seed, so the sharded report is byte-identical to a serial run.
+GRID_SHARDS ?= 4
+GRID_ROUNDS ?= 150
+GRID_FLAGS = -rounds $(GRID_ROUNDS) -audit -chaos all -intchaos all -hotplug all \
+	-cores 2,4 -tenants 3 -tenantchaos all
+grid-full: build
+	@i=0; while [ $$i -lt $(GRID_SHARDS) ]; do \
+		echo "grid-full: shard $$i/$(GRID_SHARDS)"; \
+		$(GO) run ./cmd/riommu-faults $(GRID_FLAGS) \
+			-shard $$i/$(GRID_SHARDS) -checkpoint grid-full.ckpt -json grid-full.json || exit 1; \
+		i=$$((i + 1)); \
+	done
+	@echo "grid-full: report in grid-full.json (checkpoint: grid-full.ckpt)"
+
+# grid-check is the sharded-runtime byte-identity gate at CI-sized rounds: a
+# serial run and a sharded, checkpoint-resumed run of the same grid must
+# produce byte-identical -json reports.
+GRID_CHECK_FLAGS = -rounds 8 -rates 0,0.01 -modes strict,riommu -parallel 1
+grid-check: build
+	@tmp="$$(mktemp -d)"; trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) run ./cmd/riommu-faults $(GRID_CHECK_FLAGS) -json "$$tmp/serial.json" > /dev/null || exit 1; \
+	i=0; while [ $$i -lt 3 ]; do \
+		$(GO) run ./cmd/riommu-faults $(GRID_CHECK_FLAGS) \
+			-shard $$i/3 -checkpoint "$$tmp/grid.ckpt" -json "$$tmp/sharded.json" > /dev/null || exit 1; \
+		i=$$((i + 1)); \
+	done; \
+	if ! diff -u "$$tmp/serial.json" "$$tmp/sharded.json"; then \
+		echo "grid-check: sharded report differs from serial run"; exit 1; \
+	fi; \
+	echo "grid-check: sharded report byte-identical to serial run"
 
 # profile runs the quick campaign grid under the CPU and heap profilers; feed
 # the outputs to `go tool pprof`.
@@ -151,4 +195,4 @@ profile: build
 
 clean:
 	$(GO) clean ./...
-	rm -f cpu.pprof mem.pprof
+	rm -f cpu.pprof mem.pprof grid-full.ckpt grid-full.json

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	benchdiff [-fail-over PCT] old.txt new.txt
+//	benchdiff [-fail-over PCT] [-gate spec.json] old.txt new.txt
 //
 // For every benchmark present in both files it reports the mean ns/op of old
 // and new and the relative change. With -fail-over N the exit status is 1 if
@@ -13,10 +13,25 @@
 // purely informational. Benchmarks present in only one file are listed but
 // never gate. allocs/op columns, when present, are compared the same way and
 // always gate: any increase fails, because the hot paths are pinned at zero.
+//
+// -gate spec.json adds per-benchmark ns/op regression floors on top of the
+// blanket -fail-over threshold:
+//
+//	{
+//	  "enforce": false,
+//	  "max_regression_pct": {"BenchmarkMapUnmapStrict": 50}
+//	}
+//
+// A benchmark named in max_regression_pct is gated at its own floor instead
+// of -fail-over, and a gated benchmark that disappears from the new file also
+// trips. While "enforce" is false the gate only annotates the table (the
+// informational phase that characterizes variance); flipping it to true turns
+// the same spec into a hard exit-1 gate — no CI edit needed.
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -25,6 +40,25 @@ import (
 	"strconv"
 	"strings"
 )
+
+// gateSpec is the -gate file: named benchmarks get their own max ns/op
+// regression percentage, enforced (exit 1) only once Enforce is flipped on.
+type gateSpec struct {
+	Enforce          bool               `json:"enforce"`
+	MaxRegressionPct map[string]float64 `json:"max_regression_pct"`
+}
+
+func loadGate(path string) (*gateSpec, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var g gateSpec
+	if err := json.Unmarshal(b, &g); err != nil {
+		return nil, fmt.Errorf("gate spec %s: %w", path, err)
+	}
+	return &g, nil
+}
 
 // sample accumulates the measurements of one benchmark across -count runs.
 type sample struct {
@@ -116,8 +150,9 @@ func pct(before, after float64) float64 {
 
 // diff renders the per-benchmark comparison table to w and reports whether
 // any gate tripped: ns/op regressions beyond failOver percent (0 disables),
-// or any allocs/op increase.
-func diff(w io.Writer, old, cur map[string]*sample, failOver float64) bool {
+// per-benchmark floors from the -gate spec, or any allocs/op increase. A nil
+// gate means no spec was given.
+func diff(w io.Writer, old, cur map[string]*sample, failOver float64, gate *gateSpec) bool {
 	names := make([]string, 0, len(old))
 	for n := range old {
 		names = append(names, n)
@@ -128,13 +163,35 @@ func diff(w io.Writer, old, cur map[string]*sample, failOver float64) bool {
 	failed := false
 	for _, n := range names {
 		o, c := old[n], cur[n]
+		limit, gated := 0.0, false
+		if gate != nil {
+			limit, gated = gate.MaxRegressionPct[n]
+		}
 		if c == nil {
-			fmt.Fprintf(w, "%-34s %14.1f %14s %9s\n", n, o.ns(), "-", "gone")
+			mark := ""
+			if gated {
+				// A gated benchmark that vanished would otherwise pass forever.
+				if gate.Enforce {
+					mark = "  GATE: missing from new"
+					failed = true
+				} else {
+					mark = "  gate (informational): missing from new"
+				}
+			}
+			fmt.Fprintf(w, "%-34s %14.1f %14s %9s%s\n", n, o.ns(), "-", "gone", mark)
 			continue
 		}
 		d := pct(o.ns(), c.ns())
 		mark := ""
-		if failOver > 0 && d > failOver {
+		switch {
+		case gated && d > limit:
+			if gate.Enforce {
+				mark = fmt.Sprintf("  GATE REGRESSION (> %+.1f%%)", limit)
+				failed = true
+			} else {
+				mark = fmt.Sprintf("  gate (informational): over %+.1f%% floor", limit)
+			}
+		case !gated && failOver > 0 && d > failOver:
 			mark = "  REGRESSION"
 			failed = true
 		}
@@ -159,14 +216,23 @@ func diff(w io.Writer, old, cur map[string]*sample, failOver float64) bool {
 
 func main() {
 	failOver := flag.Float64("fail-over", 0, "exit 1 if any benchmark slows down by more than this percent (0 = informational)")
+	gatePath := flag.String("gate", "", "JSON spec with per-benchmark max ns/op regression percentages")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: benchdiff [-fail-over PCT] old.txt new.txt\n")
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [-fail-over PCT] [-gate spec.json] old.txt new.txt\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 	if flag.NArg() != 2 {
 		flag.Usage()
 		os.Exit(2)
+	}
+	var gate *gateSpec
+	if *gatePath != "" {
+		var err error
+		if gate, err = loadGate(*gatePath); err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(2)
+		}
 	}
 	old, err := parse(flag.Arg(0))
 	if err != nil {
@@ -179,7 +245,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	if diff(os.Stdout, old, cur, *failOver) {
+	if diff(os.Stdout, old, cur, *failOver, gate) {
 		fmt.Fprintln(os.Stderr, "benchdiff: regressions detected")
 		os.Exit(1)
 	}

@@ -72,7 +72,7 @@ func TestZeroOldMeanNoNaN(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if failed := diff(&buf, old, cur, 5); failed {
+	if failed := diff(&buf, old, cur, 5, nil); failed {
 		t.Errorf("zero-baseline delta tripped the gate:\n%s", buf.String())
 	}
 	out := buf.String()
@@ -90,19 +90,89 @@ func TestDiffRegressionGate(t *testing.T) {
 	cur, _ := parse(newP)
 
 	var buf bytes.Buffer
-	if !diff(&buf, old, cur, 10) {
+	if !diff(&buf, old, cur, 10, nil) {
 		t.Error("20%% slowdown with -fail-over 10 did not fail")
 	}
 	if !strings.Contains(buf.String(), "REGRESSION") {
 		t.Errorf("failing report lacks REGRESSION marker:\n%s", buf.String())
 	}
 	buf.Reset()
-	if diff(&buf, old, cur, 25) {
+	if diff(&buf, old, cur, 25, nil) {
 		t.Error("20%% slowdown with -fail-over 25 failed")
 	}
 	buf.Reset()
-	if diff(&buf, old, cur, 0) {
+	if diff(&buf, old, cur, 0, nil) {
 		t.Error("informational mode (fail-over 0) failed")
+	}
+}
+
+// TestGateSpec: per-benchmark floors from -gate override the blanket
+// -fail-over threshold, annotate only while enforce is off, and fail hard
+// once it is flipped on — including when a gated benchmark disappears.
+func TestGateSpec(t *testing.T) {
+	oldP := writeBench(t,
+		"BenchmarkMapUnmapStrict   1000   100 ns/op",
+		"BenchmarkLoose            1000   100 ns/op",
+	)
+	newP := writeBench(t,
+		"BenchmarkMapUnmapStrict   1000   180 ns/op",
+		"BenchmarkLoose            1000   180 ns/op",
+	)
+	old, _ := parse(oldP)
+	cur, _ := parse(newP)
+	spec := &gateSpec{MaxRegressionPct: map[string]float64{"BenchmarkMapUnmapStrict": 50}}
+
+	// Informational phase: the 80% regression is over the 50% floor but only
+	// annotated; the un-gated benchmark is untouched (fail-over 0).
+	var buf bytes.Buffer
+	if diff(&buf, old, cur, 0, spec) {
+		t.Errorf("informational gate failed the run:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "gate (informational)") {
+		t.Errorf("informational gate not annotated:\n%s", buf.String())
+	}
+
+	// Enforcing phase: same spec, enforce flipped on.
+	spec.Enforce = true
+	buf.Reset()
+	if !diff(&buf, old, cur, 0, spec) {
+		t.Errorf("enforcing gate passed an 80%% regression over a 50%% floor:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "GATE REGRESSION") {
+		t.Errorf("enforcing report lacks GATE REGRESSION:\n%s", buf.String())
+	}
+
+	// A regression within the per-benchmark floor passes even though it would
+	// trip a tighter blanket -fail-over: the spec takes precedence.
+	newOK := writeBench(t,
+		"BenchmarkMapUnmapStrict   1000   130 ns/op",
+		"BenchmarkLoose            1000   100 ns/op",
+	)
+	curOK, _ := parse(newOK)
+	buf.Reset()
+	if diff(&buf, old, curOK, 10, spec) {
+		t.Errorf("30%% regression under a 50%% floor failed:\n%s", buf.String())
+	}
+
+	// A gated benchmark missing from the new file trips the enforcing gate.
+	newGone := writeBench(t, "BenchmarkLoose   1000   100 ns/op")
+	curGone, _ := parse(newGone)
+	buf.Reset()
+	if !diff(&buf, old, curGone, 0, spec) {
+		t.Errorf("gated benchmark vanished and the enforcing gate passed:\n%s", buf.String())
+	}
+
+	// loadGate round-trips the committed spec format.
+	specPath := filepath.Join(t.TempDir(), "gate.json")
+	if err := os.WriteFile(specPath, []byte(`{"enforce": false, "max_regression_pct": {"BenchmarkMapUnmapStrict": 50}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := loadGate(specPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Enforce || g.MaxRegressionPct["BenchmarkMapUnmapStrict"] != 50 {
+		t.Errorf("loadGate = %+v", g)
 	}
 }
 
@@ -118,7 +188,7 @@ func TestDiffAllocGateAndMissingBenchmarks(t *testing.T) {
 	old, _ := parse(oldP)
 	cur, _ := parse(newP)
 	var buf bytes.Buffer
-	if !diff(&buf, old, cur, 0) {
+	if !diff(&buf, old, cur, 0, nil) {
 		t.Error("allocs/op increase did not fail even in informational mode")
 	}
 	out := buf.String()

@@ -72,6 +72,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		csvDir  = fs.String("csv", "", "also export Figure 7/8/12 data series as CSV into this directory")
 		cpuProf = fs.String("cpuprofile", "", "write a CPU profile (runtime/pprof) to this file")
 		memProf = fs.String("memprofile", "", "write an allocs heap profile to this file on exit")
+		shard   = fs.String("shard", "", "run only every K-th selected experiment: \"i/K\" with 0 <= i < K")
+		merge   = fs.String("merge", "", "merge comma-separated shard -json reports into -json FILE instead of running")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -118,6 +120,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	if *merge != "" {
+		if *jsonOut == "" {
+			fmt.Fprintln(stderr, "riommu-bench: -merge needs -json FILE for the merged report")
+			return 2
+		}
+		var reps []experiments.Report
+		for _, p := range strings.Split(*merge, ",") {
+			rep, err := experiments.ReadReport(strings.TrimSpace(p))
+			if err != nil {
+				fmt.Fprintln(stderr, "riommu-bench:", err)
+				return 1
+			}
+			reps = append(reps, rep)
+		}
+		rep, err := experiments.MergeReports(reps)
+		if err != nil {
+			fmt.Fprintln(stderr, "riommu-bench:", err)
+			return 1
+		}
+		if err := experiments.WriteJSON(*jsonOut, rep); err != nil {
+			fmt.Fprintln(stderr, "riommu-bench:", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "riommu-bench: merged %d shard report(s) into %s\n", len(reps), *jsonOut)
+		return 0
+	}
+
 	var selected []experiments.Experiment
 	if *exp == "" {
 		selected = experiments.All()
@@ -130,6 +159,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			selected = append(selected, e)
 		}
+	}
+	shardIdx, shardCount, err := parallel.ParseShard(*shard)
+	if err != nil {
+		fmt.Fprintln(stderr, "riommu-bench:", err)
+		return 2
+	}
+	if shardCount > 1 {
+		selected = experiments.Shard(selected, shardIdx, shardCount)
+		fmt.Fprintf(stderr, "riommu-bench: shard %d/%d — %d experiment(s)\n", shardIdx, shardCount, len(selected))
 	}
 
 	start := time.Now()

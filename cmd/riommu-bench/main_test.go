@@ -47,6 +47,59 @@ func TestInterruptFlushesPartialReport(t *testing.T) {
 	}
 }
 
+// TestShardMergeByteIdentical: splitting a selection across -shard runs and
+// folding the per-shard -json reports back together with -merge must produce
+// the same bytes as one unsharded run. The selection is listed in registry
+// (ID-sorted) order because that is the order -merge restores.
+func TestShardMergeByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real experiments; slow under -short")
+	}
+	dir := t.TempDir()
+	sel := "misspenalty,pathology,table1,table3"
+	full := filepath.Join(dir, "full.json")
+	shard0 := filepath.Join(dir, "shard0.json")
+	shard1 := filepath.Join(dir, "shard1.json")
+	merged := filepath.Join(dir, "merged.json")
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"-exp", sel, "-json", full}, &out, &errb); code != 0 {
+		t.Fatalf("full run: exit %d\nstderr:\n%s", code, errb.String())
+	}
+	for i, rep := range []string{shard0, shard1} {
+		out.Reset()
+		errb.Reset()
+		shard := []string{"-exp", sel, "-shard", []string{"0/2", "1/2"}[i], "-json", rep}
+		if code := run(shard, &out, &errb); code != 0 {
+			t.Fatalf("shard %d/2: exit %d\nstderr:\n%s", i, code, errb.String())
+		}
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-merge", shard0 + "," + shard1, "-json", merged}, &out, &errb); code != 0 {
+		t.Fatalf("merge: exit %d\nstderr:\n%s", code, errb.String())
+	}
+
+	want, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("merged shard reports differ from the unsharded run")
+	}
+
+	// Merging the same shard twice would double-count experiments; refused.
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-merge", shard0 + "," + shard0, "-json", merged}, &out, &errb); code != 1 {
+		t.Errorf("duplicate shard merge: exit %d, want 1", code)
+	}
+}
+
 // TestListUnaffectedByInterruptPlumbing: the trivial -list path still works
 // with the signal handler installed.
 func TestListUnaffectedByInterruptPlumbing(t *testing.T) {

@@ -61,6 +61,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"riommu/internal/campaign"
@@ -113,6 +114,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		tchArg   = fs.String("tenantchaos", "", "comma-separated hostile-tenant scenarios, or \"all\" (default all when -tenants is set)")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile (runtime/pprof) to this file")
 		memProf  = fs.String("memprofile", "", "write an allocs heap profile to this file on exit")
+		shardArg = fs.String("shard", "", "compute only every K-th grid cell: \"i/K\" with 0 <= i < K (requires -checkpoint)")
+		ckptArg  = fs.String("checkpoint", "", "versioned JSON checkpoint: completed cells are flushed here and restored on rerun; extra comma-separated files are merged read-only")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -192,6 +195,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	shardIdx, shardCount, err := campaign.ParseShard(*shardArg)
+	if err != nil {
+		fmt.Fprintln(stderr, "riommu-faults:", err)
+		return 2
+	}
+	var ckptPath string
+	var mergePaths []string
+	if *ckptArg != "" {
+		parts := strings.Split(*ckptArg, ",")
+		ckptPath = strings.TrimSpace(parts[0])
+		for _, p := range parts[1:] {
+			if p = strings.TrimSpace(p); p != "" {
+				mergePaths = append(mergePaths, p)
+			}
+		}
+	}
+
 	opts := campaign.Options{
 		Seed:     *seed,
 		Rates:    rs,
@@ -206,6 +226,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Tenants:  tenants,
 		// Run defaults TenantChaos to every scenario when Tenants is set.
 		TenantChaos: tenantScenarios,
+		ShardIndex:  shardIdx,
+		ShardCount:  shardCount,
+		Checkpoint:  ckptPath,
+		Merge:       mergePaths,
 	}
 	res, err := campaign.Run(opts)
 	if parallel.Interrupted() {
@@ -216,6 +240,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 		fmt.Fprintf(stderr, "riommu-faults: interrupted — %d of %d cells completed\n", done, len(res.Keys))
+		if ckptPath != "" {
+			fmt.Fprintf(stderr, "riommu-faults: completed cells saved; rerun with -checkpoint %s to resume\n", ckptPath)
+		}
 		if *jsonOut != "" {
 			if werr := campaign.WriteJSON(*jsonOut, campaign.BuildReport(res)); werr != nil {
 				fmt.Fprintln(stderr, "riommu-faults:", werr)
@@ -228,6 +255,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, "riommu-faults:", err)
 		return 1
+	}
+	if !res.Complete() {
+		// A shard finished its slice but the checkpoint does not yet cover
+		// the grid: report/gates wait for the run that completes it.
+		done := 0
+		for i := range res.Keys {
+			if res.Completed[i] {
+				done++
+			}
+		}
+		fmt.Fprintf(stderr, "riommu-faults: shard %d/%d done — %d of %d cells in %s\n",
+			shardIdx, shardCount, done, len(res.Keys), ckptPath)
+		return 0
 	}
 
 	fmt.Fprintf(stdout, "riommu-faults: seed=%d rounds=%d (all clocks virtual; output is seed-deterministic)\n\n",

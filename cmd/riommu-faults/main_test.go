@@ -98,6 +98,121 @@ func TestSignalSetsInterrupt(t *testing.T) {
 	}
 }
 
+// TestCheckpointResumeAfterInterrupt is the sharded-runtime acceptance
+// check: kill the campaign mid-grid, re-run with -checkpoint, and the final
+// -json report must be byte-identical to an uninterrupted serial run.
+func TestCheckpointResumeAfterInterrupt(t *testing.T) {
+	dir := t.TempDir()
+	serialRep := filepath.Join(dir, "serial.json")
+	resumedRep := filepath.Join(dir, "resumed.json")
+	ckpt := filepath.Join(dir, "grid.ckpt")
+	flags := func(rep string, extra ...string) []string {
+		return append([]string{
+			"-rounds", "400", "-rates", "0,0.01", "-modes", "strict,riommu",
+			"-parallel", "1", "-json", rep,
+		}, extra...)
+	}
+
+	var out, errb bytes.Buffer
+	if code := run(flags(serialRep), &out, &errb); code != 0 {
+		t.Fatalf("serial run: exit %d\nstderr:\n%s", code, errb.String())
+	}
+
+	// First pass: interrupt mid-grid. Whatever subset of cells completed is
+	// in the checkpoint; the resume must fill in exactly the rest. (The full
+	// grid takes ~100 ms serial, so the signal lands mid-grid; if scheduling
+	// ever lets the run win the race, the resume is a no-op and the
+	// byte-identity assertion still holds.)
+	go func() {
+		time.Sleep(25 * time.Millisecond)
+		parallel.Interrupt()
+	}()
+	out.Reset()
+	errb.Reset()
+	code := run(flags(resumedRep, "-checkpoint", ckpt), &out, &errb)
+	if code != 130 && code != 0 {
+		t.Fatalf("interrupted run: exit %d\nstderr:\n%s", code, errb.String())
+	}
+	parallel.ResetInterrupt()
+
+	out.Reset()
+	errb.Reset()
+	if code := run(flags(resumedRep, "-checkpoint", ckpt), &out, &errb); code != 0 {
+		t.Fatalf("resumed run: exit %d\nstderr:\n%s", code, errb.String())
+	}
+
+	want, err := os.ReadFile(serialRep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(resumedRep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("resumed report differs from the uninterrupted serial run")
+	}
+}
+
+// TestShardedGridRenders: shard passes over one checkpoint file; the shard
+// that completes the grid renders the full report, earlier shards exit 0
+// with a progress summary only.
+func TestShardedGridRenders(t *testing.T) {
+	dir := t.TempDir()
+	serialRep := filepath.Join(dir, "serial.json")
+	shardRep := filepath.Join(dir, "shard.json")
+	ckpt := filepath.Join(dir, "grid.ckpt")
+	base := []string{"-rounds", "6", "-rates", "0", "-modes", "strict,riommu", "-parallel", "1"}
+
+	var out, errb bytes.Buffer
+	if code := run(append(base, "-json", serialRep), &out, &errb); code != 0 {
+		t.Fatalf("serial run: exit %d\nstderr:\n%s", code, errb.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run(append(base, "-json", shardRep, "-shard", "0/2", "-checkpoint", ckpt), &out, &errb); code != 0 {
+		t.Fatalf("shard 0/2: exit %d\nstderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "shard 0/2 done") {
+		t.Errorf("shard 0/2 summary missing from stderr:\n%s", errb.String())
+	}
+	if out.Len() != 0 {
+		t.Error("incomplete shard rendered tables")
+	}
+	if _, err := os.Stat(shardRep); err == nil {
+		t.Error("incomplete shard wrote a -json report")
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run(append(base, "-json", shardRep, "-shard", "1/2", "-checkpoint", ckpt), &out, &errb); code != 0 {
+		t.Fatalf("shard 1/2: exit %d\nstderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "NIC campaign") {
+		t.Error("final shard did not render the campaign tables")
+	}
+
+	want, err := os.ReadFile(serialRep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(shardRep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("sharded report differs from the serial run")
+	}
+
+	// A sharded run without a checkpoint is refused up front.
+	out.Reset()
+	errb.Reset()
+	if code := run(append(base, "-shard", "0/2"), &out, &errb); code != 1 {
+		t.Errorf("shard without checkpoint: exit %d, want 1", code)
+	}
+}
+
 // TestBadChaosFlag: unknown scenarios are a usage error.
 func TestBadChaosFlag(t *testing.T) {
 	var out, errb bytes.Buffer

@@ -13,13 +13,13 @@ package campaign
 
 import (
 	"fmt"
-	"math/rand"
 	"strconv"
 	"strings"
 
 	"riommu/internal/audit"
 	"riommu/internal/chaos"
 	"riommu/internal/cycles"
+	"riommu/internal/detrand"
 	"riommu/internal/device"
 	"riommu/internal/driver"
 	"riommu/internal/faults"
@@ -209,6 +209,22 @@ type Options struct {
 	// TenantChaos selects the hostile-tenant scenarios the Tenants axis
 	// sweeps (defaults to all when Tenants is set and this is empty).
 	TenantChaos []chaos.TenantScenario
+
+	// ShardIndex/ShardCount split the grid across cooperating processes:
+	// with ShardCount = K, this process computes only the cells whose grid
+	// index i satisfies i % K == ShardIndex (cells already present in the
+	// checkpoint are restored regardless of shard). ShardCount <= 1 runs the
+	// whole grid. Sharded runs require a Checkpoint, since a shard's results
+	// would otherwise be lost. Like Workers, the shard split never affects
+	// cell content — only which process computes which cell.
+	ShardIndex, ShardCount int
+	// Checkpoint names the versioned JSON checkpoint file: completed cells
+	// are flushed to it as they finish (atomic temp-file rename per cell),
+	// and cells already recorded there are restored instead of re-run.
+	Checkpoint string
+	// Merge lists additional checkpoint files to restore cells from
+	// read-only — the merge step after K shards ran into K separate files.
+	Merge []string
 }
 
 // Key identifies one campaign cell.
@@ -261,6 +277,12 @@ func (k Key) String() string {
 
 // CellMetrics is what one campaign cell measured.
 type CellMetrics struct {
+	// Clock is the cell's final CPU clock snapshot — the complete
+	// per-component cycle ledger, captured with cycles.Clock.Snapshot when
+	// the cell finishes and carried through checkpoints so a restored cell
+	// is indistinguishable from a freshly-run one.
+	Clock cycles.Snapshot
+
 	Injected       uint64
 	Recovery       driver.RecoveryStats
 	RecoveryCycles uint64 // CPU cycles charged to recovery work
@@ -337,6 +359,18 @@ func (r Result) done(i int) bool {
 	return r.Completed == nil || r.Completed[i]
 }
 
+// Complete reports whether every grid cell has metrics — true for an
+// uninterrupted unsharded run, and for a sharded/resumed run once the
+// checkpoint covers the whole grid.
+func (r Result) Complete() bool {
+	for i := range r.Keys {
+		if !r.done(i) {
+			return false
+		}
+	}
+	return true
+}
+
 // Grid enumerates the campaign cells in canonical order: per NIC mode a
 // clean anchor then the rate sweep, then the block devices' mode x rate
 // sweeps. Output order is always this order, independent of scheduling.
@@ -411,7 +445,67 @@ func Run(opts Options) (Result, error) {
 	keys := opts.Grid()
 	cells := make([]CellMetrics, len(keys))
 	completed := make([]bool, len(keys))
+	res := Result{Opts: opts, Keys: keys, Cells: cells, Completed: completed}
+
+	if opts.ShardCount > 1 {
+		if opts.ShardIndex < 0 || opts.ShardIndex >= opts.ShardCount {
+			return res, fmt.Errorf("shard index %d out of range [0,%d)", opts.ShardIndex, opts.ShardCount)
+		}
+		if opts.Checkpoint == "" {
+			return res, fmt.Errorf("sharded runs need -checkpoint: a shard's cells would otherwise be lost")
+		}
+	}
+
+	// Restore completed cells: read-only merge sources first, then the
+	// primary checkpoint (which is also where new cells are flushed).
+	var ckw *checkpointer
+	restore := func(ck *Checkpoint) {
+		for i, k := range keys {
+			if m, ok := ck.Cells[k.String()]; ok {
+				cells[i] = m
+				completed[i] = true
+			}
+		}
+	}
+	for _, path := range opts.Merge {
+		ck, err := LoadCheckpoint(path, opts)
+		if err != nil {
+			return res, err
+		}
+		if ck == nil {
+			return res, fmt.Errorf("merge checkpoint %s: no such file", path)
+		}
+		restore(ck)
+	}
+	if opts.Checkpoint != "" {
+		ck, err := LoadCheckpoint(opts.Checkpoint, opts)
+		if err != nil {
+			return res, err
+		}
+		if ck != nil {
+			restore(ck)
+		}
+		ckw = newCheckpointer(opts.Checkpoint, opts, ck)
+		// Fold merged cells into the primary so the merge target ends up
+		// holding the whole grid.
+		for i, k := range keys {
+			if completed[i] {
+				if _, ok := ckw.ck.Cells[k.String()]; !ok {
+					if err := ckw.record(k.String(), cells[i]); err != nil {
+						return res, err
+					}
+				}
+			}
+		}
+	}
+
 	err := parallel.Run(opts.Workers, len(keys), func(i int) error {
+		if completed[i] {
+			return nil // restored from a checkpoint
+		}
+		if opts.ShardCount > 1 && i%opts.ShardCount != opts.ShardIndex {
+			return nil // another shard's cell
+		}
 		k := keys[i]
 		seed := parallel.CellSeed(opts.Seed, k.String())
 		rate := k.Rate
@@ -443,9 +537,14 @@ func Run(opts Options) (Result, error) {
 		}
 		cells[i] = c
 		completed[i] = true
+		if ckw != nil {
+			if err := ckw.record(k.String(), c); err != nil {
+				return fmt.Errorf("%s: %w", k, err)
+			}
+		}
 		return nil
 	})
-	return Result{Opts: opts, Keys: keys, Cells: cells, Completed: completed}, err
+	return res, err
 }
 
 // recordAudit copies the oracle's verdicts into the cell (every reason key
@@ -524,6 +623,7 @@ func nicCell(mode sim.Mode, seed uint64, rate float64, rounds int, audited bool)
 		c.Gbps = perfmodel.Gbps(sys.Model, c.CyclesPerOp, device.ProfileBRCM.LineRateGbps)
 	}
 	recordAudit(&c, sys.Auditor, pkts)
+	c.Clock = sys.CPU.Snapshot()
 	return c, nil
 }
 
@@ -591,6 +691,7 @@ func mqCell(mode sim.Mode, seed uint64, rate float64, rounds, cores int, audited
 		c.Gbps = perfmodel.Gbps(sys.Model, c.CyclesPerOp, device.ProfileBRCM.LineRateGbps)
 	}
 	recordAudit(&c, sys.Auditor, pkts)
+	c.Clock = sys.CPU.Snapshot()
 	return c, nil
 }
 
@@ -646,7 +747,7 @@ func blockCell(dev string, mode sim.Mode, seed uint64, rate float64, rounds int,
 		d := driver.NewSATADriver(sys.Mem, prot, sys.Eng, bdf, 4096, 256)
 		// Cell-local deterministic source, never the global math/rand
 		// state: the stream depends only on the cell's seed.
-		rng := rand.New(rand.NewSource(int64(seed)))
+		rng := detrand.New(int64(seed))
 		lba := uint64(0)
 		target = d
 		op = func() error {
@@ -677,6 +778,7 @@ func blockCell(dev string, mode sim.Mode, seed uint64, rate float64, rounds int,
 		c.CyclesPerOp = float64(sys.CPU.Now()) / float64(cmds)
 	}
 	recordAudit(&c, sys.Auditor, target.Progress())
+	c.Clock = sys.CPU.Snapshot()
 	return c, nil
 }
 
@@ -816,6 +918,7 @@ func chaosCell(mode sim.Mode, scenario chaos.Scenario, seed uint64, rounds int) 
 	c.Availability = slo.Availability(sys.CPU.Now())
 	c.BreakerTrips = sup.Breaker.Trips
 	c.Readmissions = sup.Breaker.Readmissions
+	c.Clock = sys.CPU.Snapshot()
 	return c, nil
 }
 
@@ -952,6 +1055,7 @@ func intchaosCell(mode sim.Mode, scenario chaos.IntScenario, seed uint64, rounds
 	c.Availability = slo.Availability(sys.CPU.Now())
 	c.BreakerTrips = sup.Breaker.Trips
 	c.Readmissions = sup.Breaker.Readmissions
+	c.Clock = sys.CPU.Snapshot()
 	return c, nil
 }
 
@@ -1119,6 +1223,7 @@ func hotplugCell(mode sim.Mode, scenario string, seed uint64, rounds int) (CellM
 	}
 	recordAudit(&c, orc, 0)
 	recordIntAudit(&c, sys.IntRemap, iorc)
+	c.Clock = sys.CPU.Snapshot()
 	return c, nil
 }
 

@@ -241,6 +241,7 @@ func tenantCell(mode sim.Mode, scenario chaos.TenantScenario, seed uint64, round
 	c.DowntimeCycles = slo.DowntimeCycles
 	c.MTTRCycles = slo.MTTRCycles()
 	c.Availability = c.HostileAvailability
+	c.Clock = h0.sys.CPU.Snapshot()
 	return c, nil
 }
 

@@ -1,0 +1,72 @@
+package check
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"riommu/internal/device"
+	"riommu/internal/sim"
+)
+
+// TestBatchScalarEquivalence is the batch-vs-scalar property suite: for every
+// protection mode, NIC profile, and queue count, running the seeded workload
+// with the DMA engine's batched translation path must produce a trace
+// identical to the scalar per-chunk control arm — byte-identical Tx/Rx
+// payloads, the same protection-boundary mapping history, the same
+// interrupt-delivery log, an identical per-component CPU cycle ledger, and
+// zero oracle violations. Batching is allowed to change only how many virtual
+// dispatches the simulator performs, never anything a mode observes or
+// charges.
+func TestBatchScalarEquivalence(t *testing.T) {
+	for _, mode := range sim.AllModes() {
+		for _, base := range []device.NICProfile{device.ProfileMLX, device.ProfileBRCM} {
+			for _, queues := range []int{1, 2, 4} {
+				t.Run(fmt.Sprintf("%s/%s/q=%d", mode, base.Name, queues), func(t *testing.T) {
+					cfg := Config{
+						Profile: smallProfile(base),
+						Queues:  queues,
+						Rounds:  36,
+						Seed:    0xba7c<<16 | uint64(queues),
+					}
+					batched, err := RunWorkload(mode, cfg)
+					if err != nil {
+						t.Fatalf("batched: %v", err)
+					}
+					if len(batched.TxFrames) == 0 || len(batched.Events) == 0 {
+						t.Fatalf("batched trace is degenerate: %d tx frames, %d events",
+							len(batched.TxFrames), len(batched.Events))
+					}
+					cfg.ScalarDMA = true
+					scalar, err := RunWorkload(mode, cfg)
+					if err != nil {
+						t.Fatalf("scalar: %v", err)
+					}
+
+					compareFrames(t, mode, "tx", scalar.TxFrames, batched.TxFrames)
+					compareFrames(t, mode, "rx", scalar.RxFrames, batched.RxFrames)
+					if !reflect.DeepEqual(scalar.Events, batched.Events) {
+						t.Errorf("mapping history diverges: %d batched vs %d scalar events",
+							len(batched.Events), len(scalar.Events))
+					}
+					if !reflect.DeepEqual(scalar.IntLog, batched.IntLog) {
+						t.Errorf("interrupt-delivery log diverges: %d batched vs %d scalar deliveries",
+							len(batched.IntLog), len(scalar.IntLog))
+					}
+					if batched.Cycles != scalar.Cycles {
+						t.Errorf("cycle ledger diverges: batched clock at %d, scalar at %d",
+							batched.Cycles.Now, scalar.Cycles.Now)
+					}
+					if batched.AuditViolations != 0 || scalar.AuditViolations != 0 {
+						t.Errorf("audit violations in a benign workload: batched=%d scalar=%d",
+							batched.AuditViolations, scalar.AuditViolations)
+					}
+					if batched.IntViolations != 0 || scalar.IntViolations != 0 {
+						t.Errorf("interrupt violations in a benign workload: batched=%d scalar=%d",
+							batched.IntViolations, scalar.IntViolations)
+					}
+				})
+			}
+		}
+	}
+}

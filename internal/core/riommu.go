@@ -1,9 +1,11 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"riommu/internal/cycles"
+	"riommu/internal/dma"
 	"riommu/internal/mem"
 	"riommu/internal/pci"
 )
@@ -54,6 +56,7 @@ type Ring struct {
 	size    uint32 // number of rPTEs (u18)
 	frames  mem.PFN
 	nframes int
+	tbl     []byte // direct view of the flat table (mem.Span)
 
 	tail    uint32 // SW only: next entry to allocate
 	nmapped uint32 // SW only: live mappings
@@ -92,17 +95,65 @@ type tlbKey struct {
 	rid uint16
 }
 
-// tlbEntry is an rIOTLB_entry (Figure 9e): the cached "current" rPTE of one
-// ring plus an optionally prefetched copy of the subsequent rPTE. Entries are
-// allocated once per ring and recycled across invalidations (present gates
-// liveness), so the steady-state translate path allocates nothing.
-type tlbEntry struct {
-	bdf     pci.BDF
-	rid     uint16
-	present bool
-	rentry  uint32
-	rpte    rpte
-	next    rpte // prefetched copy; next.valid gates its use
+// riotlb is the rIOTLB backing store in struct-of-arrays layout: one slot
+// per ring, with the key, the liveness bit, the cached "current" rPTE
+// position/value (Figure 9e) and the prefetched next rPTE each in their own
+// parallel array. Slots are allocated once per ring and recycled across
+// invalidations (present gates liveness) and detaches (free list), so the
+// steady-state translate path allocates nothing, and the fields a probe
+// actually touches (present/rentry) stay densely packed instead of striding
+// over whole entry structs.
+type riotlb struct {
+	index map[tlbKey]int32
+
+	keys    []tlbKey
+	present []bool
+	rentry  []uint32
+	cur     []rpte
+	next    []rpte // prefetched copy; next[s].valid gates its use
+
+	free []int32 // slots returned by DetachDevice
+}
+
+// slot returns the ring's slot, creating one (recycling a freed slot when
+// possible) on first use.
+func (t *riotlb) slot(key tlbKey) int32 {
+	if s, ok := t.index[key]; ok {
+		return s
+	}
+	var s int32
+	if n := len(t.free); n > 0 {
+		s = t.free[n-1]
+		t.free = t.free[:n-1]
+		t.keys[s] = key
+		t.present[s] = false
+		t.rentry[s] = 0
+		t.cur[s] = rpte{}
+		t.next[s] = rpte{}
+	} else {
+		s = int32(len(t.keys))
+		t.keys = append(t.keys, key)
+		t.present = append(t.present, false)
+		t.rentry = append(t.rentry, 0)
+		t.cur = append(t.cur, rpte{})
+		t.next = append(t.next, rpte{})
+	}
+	t.index[key] = s
+	return s
+}
+
+// release frees the ring's slot (device detach), returning whether it was
+// present.
+func (t *riotlb) release(key tlbKey) bool {
+	s, ok := t.index[key]
+	if !ok {
+		return false
+	}
+	live := t.present[s]
+	t.present[s] = false
+	delete(t.index, key)
+	t.free = append(t.free, s)
+	return live
 }
 
 // IOPF is the I/O page fault raised by rtranslate/rtable_walk. OSes
@@ -133,16 +184,17 @@ type RIOMMU struct {
 	mm    *mem.PhysMem
 
 	devices map[pci.BDF]*Device
-	tlb     map[tlbKey]*tlbEntry
-	tlbLive int // entries with present set (TLBEntries)
+	tlb     riotlb
+	tlbLive int // slots with present set (TLBEntries)
 	stats   Stats
 	aud     InvObserver
 
-	// lastKey/lastE cache the most recently used rIOTLB entry so that the
+	// lastKey/lastSlot cache the most recently used rIOTLB slot so that the
 	// common case — a device streaming through one ring — resolves with zero
-	// map lookups. lastE always points at the map's entry for lastKey.
-	lastKey tlbKey
-	lastE   *tlbEntry
+	// map lookups. lastSlot is -1 when the cache is empty, and otherwise
+	// always the index slot for lastKey.
+	lastKey  tlbKey
+	lastSlot int32
 
 	// DisablePrefetch turns off the speculative next-rPTE load. The design
 	// does not depend on it (§4: "works just as well without it" for
@@ -154,11 +206,12 @@ type RIOMMU struct {
 // New creates an rIOMMU over the given simulated memory.
 func New(clk *cycles.Clock, model *cycles.Model, mm *mem.PhysMem) *RIOMMU {
 	return &RIOMMU{
-		clk:     clk,
-		model:   model,
-		mm:      mm,
-		devices: make(map[pci.BDF]*Device),
-		tlb:     make(map[tlbKey]*tlbEntry),
+		clk:      clk,
+		model:    model,
+		mm:       mm,
+		devices:  make(map[pci.BDF]*Device),
+		tlb:      riotlb{index: make(map[tlbKey]int32)},
+		lastSlot: -1,
 	}
 }
 
@@ -190,11 +243,16 @@ func (u *RIOMMU) AttachDevice(bdf pci.BDF, ringSizes []uint32) (*Device, error) 
 		if err != nil {
 			return nil, fmt.Errorf("riommu: allocating flat table for ring %d: %w", rid, err)
 		}
+		tbl, err := u.mm.Span(f.PA(), bytes)
+		if err != nil {
+			return nil, fmt.Errorf("riommu: mapping flat table for ring %d: %w", rid, err)
+		}
 		d.rings = append(d.rings, &Ring{
 			tablePA: f.PA(),
 			size:    n,
 			frames:  f,
 			nframes: nframes,
+			tbl:     tbl,
 		})
 	}
 	u.devices[bdf] = d
@@ -209,12 +267,8 @@ func (u *RIOMMU) DetachDevice(bdf pci.BDF) error {
 		return fmt.Errorf("riommu: device %s not attached", bdf)
 	}
 	for rid, r := range d.rings {
-		key := tlbKey{bdf: bdf, rid: uint16(rid)}
-		if e, ok := u.tlb[key]; ok {
-			if e.present {
-				u.tlbLive--
-			}
-			delete(u.tlb, key)
+		if u.tlb.release(tlbKey{bdf: bdf, rid: uint16(rid)}) {
+			u.tlbLive--
 		}
 		for i := 0; i < r.nframes; i++ {
 			if err := u.mm.FreeFrame(r.frames + mem.PFN(i)); err != nil {
@@ -222,7 +276,7 @@ func (u *RIOMMU) DetachDevice(bdf pci.BDF) error {
 			}
 		}
 	}
-	u.lastKey, u.lastE = tlbKey{}, nil // may point at a just-deleted entry
+	u.lastKey, u.lastSlot = tlbKey{}, -1 // may point at a just-freed slot
 	delete(u.devices, bdf)
 	return nil
 }
@@ -230,28 +284,24 @@ func (u *RIOMMU) DetachDevice(bdf pci.BDF) error {
 // Device returns the attached rDEVICE for bdf, or nil.
 func (u *RIOMMU) Device(bdf pci.BDF) *Device { return u.devices[bdf] }
 
-// readRPTE fetches flat-table entry i of ring r from simulated memory.
+// readRPTE fetches flat-table entry i of ring r from simulated memory. The
+// flat table is read through the Span view taken at attach: the table stays
+// allocated for the device's whole lifetime and callers bounds-check i
+// against the ring size, so — exactly like the typed mm accessors this
+// replaces — the fetch cannot fail and sees every store DMA paths make to
+// the same bytes.
 func (u *RIOMMU) readRPTE(r *Ring, i uint32) (rpte, error) {
-	pa := r.tablePA + mem.PA(uint64(i)*rpteBytes)
-	w0, err := u.mm.ReadU64(pa)
-	if err != nil {
-		return rpte{}, err
-	}
-	w1, err := u.mm.ReadU64(pa + 8)
-	if err != nil {
-		return rpte{}, err
-	}
-	return decodeRPTE(w0, w1), nil
+	e := r.tbl[uint64(i)*rpteBytes:]
+	return decodeRPTE(binary.LittleEndian.Uint64(e), binary.LittleEndian.Uint64(e[8:])), nil
 }
 
 // writeRPTE stores flat-table entry i of ring r (used by the OS driver).
 func (u *RIOMMU) writeRPTE(r *Ring, i uint32, p rpte) error {
-	pa := r.tablePA + mem.PA(uint64(i)*rpteBytes)
+	e := r.tbl[uint64(i)*rpteBytes:]
 	w0, w1 := encodeRPTE(p)
-	if err := u.mm.WriteU64(pa, w0); err != nil {
-		return err
-	}
-	return u.mm.WriteU64(pa+8, w1)
+	binary.LittleEndian.PutUint64(e, w0)
+	binary.LittleEndian.PutUint64(e[8:], w1)
+	return nil
 }
 
 func (u *RIOMMU) fault(bdf pci.BDF, iova IOVA, reason string) error {
@@ -261,9 +311,9 @@ func (u *RIOMMU) fault(bdf pci.BDF, iova IOVA, reason string) error {
 
 // rtableWalk implements rtable_walk (Figure 10 top/right): bounds-check the
 // rIOVA against the rDEVICE/rRING limits, fetch its rPTE from memory,
-// validate it, fill the caller's rIOTLB entry in place, and attempt to
-// prefetch the next one. On error e is left untouched.
-func (u *RIOMMU) rtableWalk(bdf pci.BDF, iova IOVA, e *tlbEntry) error {
+// validate it, fill the caller's rIOTLB slot in place, and attempt to
+// prefetch the next one. On error the slot is left untouched.
+func (u *RIOMMU) rtableWalk(bdf pci.BDF, iova IOVA, s int32) error {
 	d, ok := u.devices[bdf]
 	if !ok {
 		return u.fault(bdf, iova, "no rDEVICE for bdf")
@@ -285,47 +335,84 @@ func (u *RIOMMU) rtableWalk(bdf pci.BDF, iova IOVA, e *tlbEntry) error {
 	if !p.valid {
 		return u.fault(bdf, iova, "invalid rPTE")
 	}
-	e.bdf, e.rid, e.rentry, e.rpte = bdf, rid, iova.REntry(), p
-	u.rprefetch(d, e)
+	u.tlb.rentry[s], u.tlb.cur[s] = iova.REntry(), p
+	u.rprefetch(d, s)
 	return nil
 }
 
 // rprefetch implements rprefetch (Figure 10 bottom/right): copy the
-// subsequent rPTE into e.next if it is currently valid. Prefetching is
-// speculative and free of side effects; in real hardware it is asynchronous,
-// so it charges nothing to the device-side clock.
-func (u *RIOMMU) rprefetch(d *Device, e *tlbEntry) {
+// subsequent rPTE into the slot's next field if it is currently valid.
+// Prefetching is speculative and free of side effects; in real hardware it
+// is asynchronous, so it charges nothing to the device-side clock.
+func (u *RIOMMU) rprefetch(d *Device, s int32) {
 	if u.DisablePrefetch {
-		e.next = rpte{}
+		u.tlb.next[s] = rpte{}
 		return
 	}
-	r := d.rings[e.rid]
-	next := (e.rentry + 1) % r.size
-	e.next = rpte{}
+	r := d.rings[u.tlb.keys[s].rid]
+	next := (u.tlb.rentry[s] + 1) % r.size
+	u.tlb.next[s] = rpte{}
 	if r.size > 1 {
 		if p, err := u.readRPTE(r, next); err == nil && p.valid {
-			e.next = p
+			u.tlb.next[s] = p
 		}
 	}
 }
 
 // riotlbEntrySync implements riotlb_entry_sync (Figure 10 bottom/left):
-// bring e up to date with the rIOVA being translated, using the prefetched
-// next entry when it matches (the sequential fast path) and a table walk
-// otherwise.
-func (u *RIOMMU) riotlbEntrySync(bdf pci.BDF, iova IOVA, e *tlbEntry) error {
+// bring the slot up to date with the rIOVA being translated, using the
+// prefetched next entry when it matches (the sequential fast path) and a
+// table walk otherwise.
+func (u *RIOMMU) riotlbEntrySync(bdf pci.BDF, iova IOVA, s int32) error {
 	d := u.devices[bdf]
-	next := (e.rentry + 1) % d.rings[e.rid].size
-	if e.next.valid && iova.REntry() == next {
-		e.rpte = e.next
-		e.rentry = next
-		e.next.valid = false
+	next := (u.tlb.rentry[s] + 1) % d.rings[u.tlb.keys[s].rid].size
+	if u.tlb.next[s].valid && iova.REntry() == next {
+		u.tlb.cur[s] = u.tlb.next[s]
+		u.tlb.rentry[s] = next
+		u.tlb.next[s].valid = false
 		u.stats.PrefetchHits++
 	} else {
-		return u.rtableWalk(bdf, iova, e) // walk fills e and prefetches
+		return u.rtableWalk(bdf, iova, s) // walk fills the slot and prefetches
 	}
-	u.rprefetch(d, e)
+	u.rprefetch(d, s)
 	return nil
+}
+
+// rslot resolves the rIOTLB slot for a key through the one-element MRU
+// cache.
+func (u *RIOMMU) rslot(key tlbKey) int32 {
+	s := u.lastSlot
+	if s < 0 || u.lastKey != key {
+		s = u.tlb.slot(key)
+		u.lastKey, u.lastSlot = key, s
+	}
+	return s
+}
+
+// rtranslateSlot is the body shared by Rtranslate and the batch verb: bring
+// slot s up to date for iova and resolve the offset against the cached rPTE.
+func (u *RIOMMU) rtranslateSlot(bdf pci.BDF, iova IOVA, dir pci.Dir, s int32) (mem.PA, error) {
+	if !u.tlb.present[s] {
+		if err := u.rtableWalk(bdf, iova, s); err != nil {
+			return 0, err
+		}
+		u.tlb.present[s] = true
+		u.tlbLive++
+	} else if u.tlb.rentry[s] != iova.REntry() {
+		if err := u.riotlbEntrySync(bdf, iova, s); err != nil {
+			return 0, err
+		}
+	}
+	// Note: when the slot's rentry == iova.rentry the cached copy is used
+	// as-is even if the OS has since cleared the rPTE in memory — the rIOTLB
+	// is not coherent with memory, which is precisely why the driver must
+	// issue an explicit invalidation at the end of each unmap burst (§4).
+	p := &u.tlb.cur[s]
+	if iova.Offset() >= p.size || !p.dir.Allows(dir) {
+		return 0, u.fault(bdf, iova, fmt.Sprintf("offset %#x >= size %#x or direction %s not permitted by %s",
+			iova.Offset(), p.size, dir, p.dir))
+	}
+	return p.physAddr + mem.PA(iova.Offset()), nil
 }
 
 // Rtranslate implements rtranslate (Figure 10 top/left): resolve a packed
@@ -333,37 +420,7 @@ func (u *RIOMMU) riotlbEntrySync(bdf pci.BDF, iova IOVA, e *tlbEntry) error {
 // recorded in its rPTE.
 func (u *RIOMMU) Rtranslate(bdf pci.BDF, iova IOVA, dir pci.Dir) (mem.PA, error) {
 	u.stats.Translations++
-	key := tlbKey{bdf: bdf, rid: iova.RID()}
-	e := u.lastE
-	if e == nil || u.lastKey != key {
-		var ok bool
-		e, ok = u.tlb[key]
-		if !ok {
-			e = &tlbEntry{}
-			u.tlb[key] = e
-		}
-		u.lastKey, u.lastE = key, e
-	}
-	if !e.present {
-		if err := u.rtableWalk(bdf, iova, e); err != nil {
-			return 0, err
-		}
-		e.present = true
-		u.tlbLive++
-	} else if e.rentry != iova.REntry() {
-		if err := u.riotlbEntrySync(bdf, iova, e); err != nil {
-			return 0, err
-		}
-	}
-	// Note: when e.rentry == iova.rentry the cached copy is used as-is even
-	// if the OS has since cleared the rPTE in memory — the rIOTLB is not
-	// coherent with memory, which is precisely why the driver must issue an
-	// explicit invalidation at the end of each unmap burst (§4).
-	if iova.Offset() >= e.rpte.size || !e.rpte.dir.Allows(dir) {
-		return 0, u.fault(bdf, iova, fmt.Sprintf("offset %#x >= size %#x or direction %s not permitted by %s",
-			iova.Offset(), e.rpte.size, dir, e.rpte.dir))
-	}
-	return e.rpte.physAddr + mem.PA(iova.Offset()), nil
+	return u.rtranslateSlot(bdf, iova, dir, u.rslot(tlbKey{bdf: bdf, rid: iova.RID()}))
 }
 
 // Translate adapts Rtranslate to the flat-uint64 Translator interface used
@@ -376,14 +433,30 @@ func (u *RIOMMU) Translate(bdf pci.BDF, iovaAddr uint64, size uint32, dir pci.Di
 		return 0, err
 	}
 	if size > 0 {
-		// A successful Rtranslate always leaves lastE pointing at this
-		// ring's entry, so the bound check needs no second map lookup.
-		if e := u.lastE; e != nil && e.present && u.lastKey == (tlbKey{bdf: bdf, rid: iova.RID()}) &&
-			uint64(iova.Offset())+uint64(size) > uint64(e.rpte.size) {
-			return 0, u.fault(bdf, iova, fmt.Sprintf("access of %d bytes exceeds buffer size %d", size, e.rpte.size))
+		// A successful Rtranslate always leaves lastSlot at this ring's
+		// slot, so the bound check needs no second map lookup.
+		if s := u.lastSlot; s >= 0 && u.tlb.present[s] && u.lastKey == (tlbKey{bdf: bdf, rid: iova.RID()}) &&
+			uint64(iova.Offset())+uint64(size) > uint64(u.tlb.cur[s].size) {
+			return 0, u.fault(bdf, iova, fmt.Sprintf("access of %d bytes exceeds buffer size %d", size, u.tlb.cur[s].size))
 		}
 	}
 	return pa, nil
+}
+
+// TranslateBatch resolves N chunks with one call: the native batched verb of
+// the dma.BatchTranslator contract. Each chunk performs exactly the scalar
+// Translate's work in order (same walks, same charges, same stats), but the
+// per-chunk interface dispatch and the engine-side loop disappear, and the
+// MRU slot stays hot across the whole batch.
+func (u *RIOMMU) TranslateBatch(bdf pci.BDF, reqs []dma.Req, out []dma.Resp) int {
+	for i := range reqs {
+		pa, err := u.Translate(bdf, reqs[i].IOVA, reqs[i].Size, reqs[i].Dir)
+		out[i] = dma.Resp{PA: pa, Err: err}
+		if err != nil {
+			return i
+		}
+	}
+	return len(reqs)
 }
 
 // InvObserver mirrors hardware invalidations into an external shadow
@@ -398,8 +471,8 @@ func (u *RIOMMU) SetAudit(o InvObserver) { u.aud = o }
 // invalidate drops the ring's single rIOTLB entry (the end-of-burst
 // operation issued by the OS driver's unmap).
 func (u *RIOMMU) invalidate(bdf pci.BDF, rid uint16) {
-	if e, ok := u.tlb[tlbKey{bdf: bdf, rid: rid}]; ok && e.present {
-		e.present = false
+	if s, ok := u.tlb.index[tlbKey{bdf: bdf, rid: rid}]; ok && u.tlb.present[s] {
+		u.tlb.present[s] = false
 		u.tlbLive--
 	}
 	u.stats.Invalidations++

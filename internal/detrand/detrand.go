@@ -1,0 +1,123 @@
+// Package detrand constructs math/rand generators without paying the
+// lagged-Fibonacci seeding cost on every construction.
+//
+// The campaign runtime builds a fresh deterministic *rand.Rand for every
+// cell that consumes randomness (e.g. the SATA completion-order shuffle),
+// and math/rand's Source seeding is surprisingly expensive: ~1900 rounds of
+// 64-bit division (tens of microseconds) before the first draw. Since the
+// Go 1 compatibility promise freezes the stream each seed produces, the
+// seeded state is a pure function of the seed — so it can be computed once
+// per distinct seed and replayed.
+//
+// New(seed) returns a *rand.Rand whose draw sequence is bit-identical to
+// rand.New(rand.NewSource(seed)) — pinned by TestMatchesMathRand — with the
+// expensive seeding cached per seed.
+package detrand
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// Generator geometry of math/rand's additive lagged-Fibonacci source
+// (rngLen-position feedback register with a tap rngTap back).
+const (
+	rngLen = 607
+	rngTap = 273
+)
+
+// template holds the first rngLen raw Uint64 outputs of a freshly seeded
+// source, in draw order. Because the generator updates exactly one register
+// slot per draw and cycles through all of them every rngLen draws, these
+// outputs are simultaneously (a) the stream prefix to replay and (b) the
+// complete register state at draw rngLen — no access to math/rand internals
+// is needed to continue the sequence.
+type template struct {
+	out [rngLen]uint64
+}
+
+var (
+	tmplMu sync.Mutex
+	tmpls  = map[int64]*template{}
+)
+
+func templateFor(seed int64) *template {
+	tmplMu.Lock()
+	defer tmplMu.Unlock()
+	if t, ok := tmpls[seed]; ok {
+		return t
+	}
+	src, ok := rand.NewSource(seed).(rand.Source64)
+	if !ok {
+		return nil // no Source64: caller falls back to plain math/rand
+	}
+	t := &template{}
+	for i := range t.out {
+		t.out[i] = src.Uint64()
+	}
+	tmpls[seed] = t
+	return t
+}
+
+// source replays a template's prefix, then continues the lagged-Fibonacci
+// recurrence on the register state the prefix encodes. Most consumers (a
+// few hundred draws per campaign cell) never leave the replay phase, so
+// construction is one map lookup and no copying.
+type source struct {
+	t    *template
+	k    int // next replay index
+	live bool
+	vec  [rngLen]uint64
+	tap  int
+	feed int
+}
+
+func (s *source) Uint64() uint64 {
+	if !s.live {
+		if s.k < rngLen {
+			x := s.t.out[s.k]
+			s.k++
+			return x
+		}
+		// Reconstruct the register: draw k updated slot (feed0-1-k) mod
+		// rngLen, where feed0 = rngLen-rngTap is the initial feed position.
+		for k := 0; k < rngLen; k++ {
+			s.vec[((rngLen-rngTap-1-k)%rngLen+rngLen)%rngLen] = s.t.out[k]
+		}
+		// After exactly rngLen draws both cursors are back at their seeded
+		// positions.
+		s.tap, s.feed = 0, rngLen-rngTap
+		s.live = true
+	}
+	s.tap--
+	if s.tap < 0 {
+		s.tap += rngLen
+	}
+	s.feed--
+	if s.feed < 0 {
+		s.feed += rngLen
+	}
+	x := s.vec[s.feed] + s.vec[s.tap]
+	s.vec[s.feed] = x
+	return x
+}
+
+func (s *source) Int63() int64 { return int64(s.Uint64() &^ (1 << 63)) }
+
+func (s *source) Seed(seed int64) {
+	t := templateFor(seed)
+	if t == nil {
+		panic("detrand: math/rand source lost Source64") // unreachable: checked in New
+	}
+	*s = source{t: t}
+}
+
+// New returns a generator producing exactly the stream of
+// rand.New(rand.NewSource(seed)), seeding each distinct seed only once.
+func New(seed int64) *rand.Rand {
+	t := templateFor(seed)
+	if t == nil {
+		return rand.New(rand.NewSource(seed))
+	}
+	return rand.New(&source{t: t})
+}

@@ -175,7 +175,8 @@ type NVMe struct {
 	bdf       pci.BDF
 	eng       *dma.Engine
 	BlockSize uint32
-	storage   []byte
+	store     blockStore // sparse namespace contents (see blockstore.go)
+	wbuf      []byte     // reusable DMA target for write commands
 
 	Commands uint64
 	Faults   uint64
@@ -183,14 +184,24 @@ type NVMe struct {
 
 // NewNVMe creates an SSD with the given number of blocks.
 func NewNVMe(bdf pci.BDF, eng *dma.Engine, blockSize uint32, blocks uint64) *NVMe {
-	return &NVMe{bdf: bdf, eng: eng, BlockSize: blockSize, storage: make([]byte, uint64(blockSize)*blocks)}
+	n := &NVMe{bdf: bdf, eng: eng, BlockSize: blockSize, store: newBlockStore(uint64(blockSize) * blocks)}
+	eng.AddCloser(n.store.release)
+	return n
 }
 
 // BDF returns the device's PCI identity.
 func (n *NVMe) BDF() pci.BDF { return n.bdf }
 
 // Blocks returns the namespace capacity in blocks.
-func (n *NVMe) Blocks() uint64 { return uint64(len(n.storage)) / uint64(n.BlockSize) }
+func (n *NVMe) Blocks() uint64 { return n.store.size / uint64(n.BlockSize) }
+
+// writeScratch returns a reused sz-byte DMA target for write commands.
+func (n *NVMe) writeScratch(sz uint32) []byte {
+	if uint32(cap(n.wbuf)) < sz {
+		n.wbuf = make([]byte, sz)
+	}
+	return n.wbuf[:sz]
+}
 
 // ResetDevice models a controller-level reset: an injected hang is cleared
 // so the device resumes consuming its queues. Namespace contents survive.
@@ -215,17 +226,17 @@ func (n *NVMe) processPRP(listIOVA uint64, off uint64, length uint32, op uint32)
 		so := off + uint64(i*seg)
 		switch op {
 		case NVMeOpRead:
-			if err := n.eng.Write(n.bdf, iova, n.storage[so:so+uint64(sz)]); err != nil {
+			if err := n.eng.Write(n.bdf, iova, n.store.read(so, sz)); err != nil {
 				n.Faults++
 				return NVMeStatusFault
 			}
 		case NVMeOpWrite:
-			buf := make([]byte, sz)
+			buf := n.writeScratch(sz)
 			if err := n.eng.Read(n.bdf, iova, buf); err != nil {
 				n.Faults++
 				return NVMeStatusFault
 			}
-			copy(n.storage[so:], buf)
+			n.store.write(so, buf)
 		}
 	}
 	return NVMeStatusOK
@@ -265,24 +276,24 @@ func (n *NVMe) ProcessSQ(q *NVMeQueuePair, max int) (int, error) {
 		status := uint32(NVMeStatusOK)
 		off := block * uint64(n.BlockSize)
 		op := opcode &^ uint32(NVMeFlagPRPList)
-		if off+uint64(length) > uint64(len(n.storage)) || (op != NVMeOpRead && op != NVMeOpWrite) {
+		if off+uint64(length) > n.store.size || (op != NVMeOpRead && op != NVMeOpWrite) {
 			status = NVMeStatusLBA
 		} else if opcode&NVMeFlagPRPList != 0 {
 			status = n.processPRP(bufIOVA, off, length, op)
 		} else {
 			switch op {
 			case NVMeOpRead: // device -> host memory
-				if err := n.eng.Write(n.bdf, bufIOVA, n.storage[off:off+uint64(length)]); err != nil {
+				if err := n.eng.Write(n.bdf, bufIOVA, n.store.read(off, length)); err != nil {
 					n.Faults++
 					status = NVMeStatusFault
 				}
 			case NVMeOpWrite: // host memory -> device
-				buf := make([]byte, length)
+				buf := n.writeScratch(length)
 				if err := n.eng.Read(n.bdf, bufIOVA, buf); err != nil {
 					n.Faults++
 					status = NVMeStatusFault
 				} else {
-					copy(n.storage[off:], buf)
+					n.store.write(off, buf)
 				}
 			}
 		}

@@ -29,23 +29,14 @@ type SATACommand struct {
 	Op      int
 }
 
-// sataChunk is the materialization granule of the drive's backing store:
-// chunks are allocated (zeroed) on first write, and reads of never-written
-// chunks observe zeros — indistinguishable from one flat zeroed array, but a
-// mostly-idle multi-hundred-MiB disk costs only its touched working set.
-const sataChunk = 1 << 18 // 256 KiB
-
 // SATA is the drive model with its single 32-slot queue.
 type SATA struct {
 	bdf       pci.BDF
 	eng       *dma.Engine
 	BlockSize uint32
 
-	storageSize uint64   // virtual disk size in bytes
-	chunks      [][]byte // nil chunk = all zeros (never written)
-	zeroBuf     []byte   // shared all-zero read source, never written
-	asmBuf      []byte   // assembly target for chunk-crossing reads
-	scratch     []byte   // reusable DMA target for write commands
+	store   blockStore // sparse disk contents (see blockstore.go)
+	scratch []byte     // reusable DMA target for write commands
 
 	slots  [SATASlots]*SATACommand
 	issued uint32 // bitmask of occupied slots
@@ -60,62 +51,23 @@ type SATA struct {
 
 // NewSATA creates a drive with the given geometry.
 func NewSATA(bdf pci.BDF, eng *dma.Engine, blockSize uint32, blocks uint64) *SATA {
-	size := uint64(blockSize) * blocks
-	return &SATA{
+	s := &SATA{
 		bdf:              bdf,
 		eng:              eng,
 		BlockSize:        blockSize,
-		storageSize:      size,
-		chunks:           make([][]byte, (size+sataChunk-1)/sataChunk),
+		store:            newBlockStore(uint64(blockSize) * blocks),
 		SeqLatencyCycles: 300_000, // ~100 µs/op at 3.1 GHz: a fast SATA SSD
 	}
+	s.eng.AddCloser(s.store.release)
+	return s
 }
 
 // storageRead returns n bytes of disk content at off. The returned slice is
 // valid until the next storageRead and must not be written.
-func (s *SATA) storageRead(off uint64, n uint32) []byte {
-	ci, co := off/sataChunk, off%sataChunk
-	if co+uint64(n) <= sataChunk {
-		if c := s.chunks[ci]; c != nil {
-			return c[co : co+uint64(n)]
-		}
-		if uint32(len(s.zeroBuf)) < n {
-			s.zeroBuf = make([]byte, n)
-		}
-		return s.zeroBuf[:n]
-	}
-	if uint32(cap(s.asmBuf)) < n {
-		s.asmBuf = make([]byte, n)
-	}
-	out := s.asmBuf[:n]
-	for done := uint64(0); done < uint64(n); {
-		ci, co = (off+done)/sataChunk, (off+done)%sataChunk
-		take := sataChunk - co
-		if rem := uint64(n) - done; take > rem {
-			take = rem
-		}
-		if c := s.chunks[ci]; c != nil {
-			copy(out[done:done+take], c[co:])
-		} else {
-			clear(out[done : done+take])
-		}
-		done += take
-	}
-	return out
-}
+func (s *SATA) storageRead(off uint64, n uint32) []byte { return s.store.read(off, n) }
 
 // storageWrite stores src at off, materializing chunks on first touch.
-func (s *SATA) storageWrite(off uint64, src []byte) {
-	for done := 0; done < len(src); {
-		ci, co := (off+uint64(done))/sataChunk, (off+uint64(done))%sataChunk
-		c := s.chunks[ci]
-		if c == nil {
-			c = make([]byte, sataChunk)
-			s.chunks[ci] = c
-		}
-		done += copy(c[co:], src[done:])
-	}
-}
+func (s *SATA) storageWrite(off uint64, src []byte) { s.store.write(off, src) }
 
 // BDF returns the drive's PCI identity.
 func (s *SATA) BDF() pci.BDF { return s.bdf }
@@ -183,7 +135,7 @@ func (s *SATA) complete(slot int) error {
 		return fmt.Errorf("sata: completing empty slot %d", slot)
 	}
 	off := cmd.Block * uint64(s.BlockSize)
-	if off+uint64(cmd.Length) > s.storageSize {
+	if off+uint64(cmd.Length) > s.store.size {
 		return fmt.Errorf("sata: block %d out of range", cmd.Block)
 	}
 	switch cmd.Op {

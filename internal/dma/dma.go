@@ -21,6 +21,50 @@ type Translator interface {
 	Translate(bdf pci.BDF, iova uint64, size uint32, dir pci.Dir) (mem.PA, error)
 }
 
+// Req is one translation request inside a batch. Like a scalar Translate
+// argument set, a request never crosses a 4 KiB IOVA boundary.
+type Req struct {
+	IOVA uint64
+	Size uint32
+	Dir  pci.Dir
+}
+
+// Resp is one resolved batch entry: the physical address on success, or the
+// fault that stopped the batch.
+type Resp struct {
+	PA  mem.PA
+	Err error
+}
+
+// BatchTranslator is the optional batched verb: a Translator that can
+// resolve N chunks per call instead of paying one virtual dispatch per
+// 4 KiB chunk. TranslateBatch fills out[i] for reqs[i] in order and stops at
+// the first failure, returning the number of successful translations; when
+// that count is < len(reqs), out[count].Err holds the fault. The observable
+// side effects — TLB state, cycle charges, charge-event counts — must be
+// identical to calling Translate sequentially, which is what the generic
+// ScalarBatch fallback literally does (and what the batch-vs-scalar
+// equivalence suite in internal/check pins).
+type BatchTranslator interface {
+	Translator
+	TranslateBatch(bdf pci.BDF, reqs []Req, out []Resp) int
+}
+
+// ScalarBatch resolves a batch through a plain Translator one chunk at a
+// time: the generic fallback that keeps every existing Translator working
+// behind the batched engine, and the reference semantics for native
+// implementations.
+func ScalarBatch(tr Translator, bdf pci.BDF, reqs []Req, out []Resp) int {
+	for i := range reqs {
+		pa, err := tr.Translate(bdf, reqs[i].IOVA, reqs[i].Size, reqs[i].Dir)
+		out[i] = Resp{PA: pa, Err: err}
+		if err != nil {
+			return i
+		}
+	}
+	return len(reqs)
+}
+
 // Router dispatches each device's DMAs to its own translation unit. PCIe
 // allows multiple IOMMUs in one system, and §4 proposes rIOMMU as a
 // supplement to — not a replacement for — the baseline IOMMU: ring-based
@@ -68,6 +112,25 @@ func (r *Router) Translate(bdf pci.BDF, iova uint64, size uint32, dir pci.Dir) (
 	return tr.Translate(bdf, iova, size, dir)
 }
 
+// TranslateBatch resolves the per-BDF route once for the whole batch (every
+// request in a batch carries the same requester) and hands the batch to the
+// unit natively when it speaks the verb, falling back to the scalar loop
+// otherwise.
+func (r *Router) TranslateBatch(bdf pci.BDF, reqs []Req, out []Resp) int {
+	tr, ok := r.routes[bdf]
+	if !ok {
+		if r.def == nil {
+			out[0] = Resp{Err: fmt.Errorf("dma: no IOMMU route for device %s", bdf)}
+			return 0
+		}
+		tr = r.def
+	}
+	if bt, ok := tr.(BatchTranslator); ok {
+		return bt.TranslateBatch(bdf, reqs, out)
+	}
+	return ScalarBatch(tr, bdf, reqs, out)
+}
+
 // Blackhole is the quarantine translator: every access faults. The
 // supervisor's circuit breaker routes a repeatedly-failing device here
 // (detach → isolate) until a probe re-admits it.
@@ -76,6 +139,12 @@ type Blackhole struct{}
 // Translate always rejects the access.
 func (Blackhole) Translate(bdf pci.BDF, iova uint64, size uint32, dir pci.Dir) (mem.PA, error) {
 	return 0, fmt.Errorf("dma: device %s quarantined", bdf)
+}
+
+// TranslateBatch rejects the batch at its first chunk.
+func (Blackhole) TranslateBatch(bdf pci.BDF, reqs []Req, out []Resp) int {
+	out[0] = Resp{Err: fmt.Errorf("dma: device %s quarantined", bdf)}
+	return 0
 }
 
 // Auditor observes every successfully translated DMA chunk before the
@@ -90,8 +159,26 @@ type Auditor interface {
 type Engine struct {
 	mm  *mem.PhysMem
 	tr  Translator
+	bt  BatchTranslator // tr's batched verb, nil when tr is scalar-only
 	inj *faults.Engine
 	aud Auditor
+
+	// batchOff forces the scalar chunk loop even when the translator speaks
+	// TranslateBatch (the equivalence suite's control arm).
+	batchOff bool
+
+	// reqs/resps are the engine-owned batch scratch: a DMA is single-threaded
+	// per engine, so reusing them keeps multi-chunk transfers at 0 allocs/op.
+	reqs  []Req
+	resps []Resp
+
+	// qw is the quadword scratch for ReadU64/WriteU64. A stack array would
+	// escape (the memory fault hook sees the slice through an interface), so
+	// the buffer lives in the engine to keep descriptor reads at 0 allocs/op.
+	qw [8]byte
+
+	// closers run at world teardown (see AddCloser).
+	closers []func()
 
 	// Reads/Writes/Bytes count completed DMA operations for statistics.
 	Reads, Writes, Bytes uint64
@@ -99,14 +186,56 @@ type Engine struct {
 
 // NewEngine returns an engine accessing mm through tr.
 func NewEngine(mm *mem.PhysMem, tr Translator) *Engine {
-	return &Engine{mm: mm, tr: tr}
+	e := &Engine{mm: mm}
+	e.SetTranslator(tr)
+	return e
 }
 
 // Translator returns the engine's current translator.
 func (e *Engine) Translator() Translator { return e.tr }
 
+// AddCloser registers a cleanup to run when the engine's world is torn down
+// (sim.System.Close). Devices use it to return pooled resources — e.g. block
+// storage chunks — without every construction site needing a release call.
+func (e *Engine) AddCloser(f func()) { e.closers = append(e.closers, f) }
+
+// Close runs the registered cleanups (once) in registration order.
+func (e *Engine) Close() {
+	for _, f := range e.closers {
+		f()
+	}
+	e.closers = nil
+}
+
 // SetTranslator swaps the translation path (used when comparing modes).
-func (e *Engine) SetTranslator(tr Translator) { e.tr = tr }
+func (e *Engine) SetTranslator(tr Translator) {
+	e.tr = tr
+	e.bt, _ = tr.(BatchTranslator)
+}
+
+// SetBatch toggles the batched translation path. Batching is on by default
+// whenever the translator implements BatchTranslator; turning it off is the
+// control arm of the batch-vs-scalar equivalence property.
+func (e *Engine) SetBatch(on bool) { e.batchOff = !on }
+
+// batch returns the translator's batch verb, or nil when the scalar loop
+// must be used (translator doesn't speak it, or batching is toggled off).
+func (e *Engine) batch() BatchTranslator {
+	if e.batchOff {
+		return nil
+	}
+	return e.bt
+}
+
+// scratch returns the engine-owned request/response arrays sized for n
+// chunks.
+func (e *Engine) scratch(n int) ([]Req, []Resp) {
+	if cap(e.reqs) < n {
+		e.reqs = make([]Req, n)
+		e.resps = make([]Resp, n)
+	}
+	return e.reqs[:n], e.resps[:n]
+}
 
 // SetFaults installs the fault-injection engine. Device models reach it via
 // Faults(), so wiring the engine here threads injection through every layer
@@ -122,16 +251,33 @@ func (e *Engine) Faults() *faults.Engine { return e.inj }
 // rejects never reach the auditor — containment worked.
 func (e *Engine) SetAudit(a Auditor) { e.aud = a }
 
+// chunks counts the 4 KiB-boundary segments of a transfer.
+func chunks(iova uint64, total int) int {
+	first := int(mem.PageSize - iova&mem.PageMask)
+	if total <= first {
+		return 1
+	}
+	return 1 + (total-first+int(mem.PageSize)-1)/int(mem.PageSize)
+}
+
 // Read performs a device read of len(buf) bytes from memory at iova (a
 // to-device DMA, e.g. fetching a packet to transmit or a descriptor). The
-// transfer is split at 4 KiB IOVA boundaries; the loop is written inline
-// (rather than through a callback) so the per-DMA path allocates nothing.
+// transfer is split at 4 KiB IOVA boundaries. Multi-chunk transfers resolve
+// every chunk with one TranslateBatch call when the translator speaks the
+// batched verb; single-chunk transfers and scalar-only translators take the
+// inline loop (written without callbacks so the per-DMA path allocates
+// nothing either way).
 func (e *Engine) Read(bdf pci.BDF, iova uint64, buf []byte) error {
 	if len(buf) == 0 {
 		return fmt.Errorf("dma: zero-length read")
 	}
 	iova, _ = e.inj.StaleDMA(bdf, iova)
 	total := len(buf)
+	if nc := chunks(iova, total); nc > 1 {
+		if bt := e.batch(); bt != nil {
+			return e.readBatch(bt, bdf, iova, buf, nc)
+		}
+	}
 	for off := 0; off < total; {
 		n := int(mem.PageSize - iova&mem.PageMask)
 		if rem := total - off; n > rem {
@@ -155,15 +301,57 @@ func (e *Engine) Read(bdf pci.BDF, iova uint64, buf []byte) error {
 	return nil
 }
 
+// readBatch is Read's multi-chunk body: one TranslateBatch resolves every
+// chunk, then the data moves. Translation side effects order exactly as the
+// scalar loop's (copies touch no translator or clock state), the auditor
+// still sees chunks in transfer order, and a translation fault stops the
+// batch at the same chunk the scalar loop would have stopped at.
+func (e *Engine) readBatch(bt BatchTranslator, bdf pci.BDF, iova uint64, buf []byte, nc int) error {
+	total := len(buf)
+	reqs, resps := e.scratch(nc)
+	iv := iova
+	for i, off := 0, 0; off < total; i++ {
+		n := int(mem.PageSize - iv&mem.PageMask)
+		if rem := total - off; n > rem {
+			n = rem
+		}
+		reqs[i] = Req{IOVA: iv, Size: uint32(n), Dir: pci.DirToDevice}
+		iv += uint64(n)
+		off += n
+	}
+	done := bt.TranslateBatch(bdf, reqs, resps)
+	for i, off := 0, 0; i < done; i++ {
+		n := int(reqs[i].Size)
+		if e.aud != nil {
+			e.aud.VerifyDMA(bdf, reqs[i].IOVA, resps[i].PA, reqs[i].Size, pci.DirToDevice)
+		}
+		if err := e.mm.ReadInto(resps[i].PA, buf[off:off+n]); err != nil {
+			return err
+		}
+		off += n
+	}
+	if done < nc {
+		return resps[done].Err
+	}
+	e.Reads++
+	e.Bytes += uint64(total)
+	return nil
+}
+
 // Write performs a device write of data to memory at iova (a from-device
 // DMA, e.g. depositing a received packet or a completion status). Split and
-// structured exactly like Read.
+// structured exactly like Read, including the batched multi-chunk path.
 func (e *Engine) Write(bdf pci.BDF, iova uint64, data []byte) error {
 	if len(data) == 0 {
 		return fmt.Errorf("dma: zero-length write")
 	}
 	iova, _ = e.inj.StaleDMA(bdf, iova)
 	total := len(data)
+	if nc := chunks(iova, total); nc > 1 {
+		if bt := e.batch(); bt != nil {
+			return e.writeBatch(bt, bdf, iova, data, nc)
+		}
+	}
 	for off := 0; off < total; {
 		n := int(mem.PageSize - iova&mem.PageMask)
 		if rem := total - off; n > rem {
@@ -187,21 +375,88 @@ func (e *Engine) Write(bdf pci.BDF, iova uint64, data []byte) error {
 	return nil
 }
 
-// ReadU64 reads a little-endian quadword at iova (descriptor fields).
+// writeBatch is Write's multi-chunk body; see readBatch.
+func (e *Engine) writeBatch(bt BatchTranslator, bdf pci.BDF, iova uint64, data []byte, nc int) error {
+	total := len(data)
+	reqs, resps := e.scratch(nc)
+	iv := iova
+	for i, off := 0, 0; off < total; i++ {
+		n := int(mem.PageSize - iv&mem.PageMask)
+		if rem := total - off; n > rem {
+			n = rem
+		}
+		reqs[i] = Req{IOVA: iv, Size: uint32(n), Dir: pci.DirFromDevice}
+		iv += uint64(n)
+		off += n
+	}
+	done := bt.TranslateBatch(bdf, reqs, resps)
+	for i, off := 0, 0; i < done; i++ {
+		n := int(reqs[i].Size)
+		if e.aud != nil {
+			e.aud.VerifyDMA(bdf, reqs[i].IOVA, resps[i].PA, reqs[i].Size, pci.DirFromDevice)
+		}
+		if err := e.mm.Write(resps[i].PA, data[off:off+n]); err != nil {
+			return err
+		}
+		off += n
+	}
+	if done < nc {
+		return resps[done].Err
+	}
+	e.Writes++
+	e.Bytes += uint64(total)
+	return nil
+}
+
+// ReadU64 reads a little-endian quadword at iova (descriptor fields). The
+// callers are descriptor and completion reads, which are 8-byte aligned and
+// so can never cross a page: the aligned fast path performs exactly the one
+// translate + audit + copy the chunk loop would, without entering it.
 func (e *Engine) ReadU64(bdf pci.BDF, iova uint64) (uint64, error) {
-	var b [8]byte
-	if err := e.Read(bdf, iova, b[:]); err != nil {
+	b := e.qw[:]
+	if iova&mem.PageMask <= mem.PageSize-8 {
+		iv, _ := e.inj.StaleDMA(bdf, iova)
+		pa, err := e.tr.Translate(bdf, iv, 8, pci.DirToDevice)
+		if err != nil {
+			return 0, err
+		}
+		if e.aud != nil {
+			e.aud.VerifyDMA(bdf, iv, pa, 8, pci.DirToDevice)
+		}
+		if err := e.mm.ReadInto(pa, b); err != nil {
+			return 0, err
+		}
+		e.Reads++
+		e.Bytes += 8
+	} else if err := e.Read(bdf, iova, b); err != nil {
 		return 0, err
 	}
 	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
 		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56, nil
 }
 
-// WriteU64 writes a little-endian quadword at iova.
+// WriteU64 writes a little-endian quadword at iova, with the same
+// never-crosses-a-page fast path as ReadU64.
 func (e *Engine) WriteU64(bdf pci.BDF, iova uint64, v uint64) error {
-	var b [8]byte
+	b := e.qw[:]
 	for i := range b {
 		b[i] = byte(v >> (8 * i))
 	}
-	return e.Write(bdf, iova, b[:])
+	if iova&mem.PageMask <= mem.PageSize-8 {
+		iv, _ := e.inj.StaleDMA(bdf, iova)
+		pa, err := e.tr.Translate(bdf, iv, 8, pci.DirFromDevice)
+		if err != nil {
+			return err
+		}
+		if e.aud != nil {
+			e.aud.VerifyDMA(bdf, iv, pa, 8, pci.DirFromDevice)
+		}
+		if err := e.mm.Write(pa, b); err != nil {
+			return err
+		}
+		e.Writes++
+		e.Bytes += 8
+		return nil
+	}
+	return e.Write(bdf, iova, b)
 }

@@ -1,10 +1,11 @@
-package dma
+package dma_test
 
 import (
 	"bytes"
 	"testing"
 
 	"riommu/internal/cycles"
+	"riommu/internal/dma"
 	"riommu/internal/iommu"
 	"riommu/internal/mem"
 	"riommu/internal/pagetable"
@@ -13,10 +14,10 @@ import (
 
 var dev = pci.NewBDF(0, 3, 0)
 
-func identityEngine(t *testing.T) (*Engine, *mem.PhysMem) {
+func identityEngine(t *testing.T) (*dma.Engine, *mem.PhysMem) {
 	t.Helper()
 	mm := mustMem(t, 64*mem.PageSize)
-	return NewEngine(mm, iommu.Identity{}), mm
+	return dma.NewEngine(mm, iommu.Identity{}), mm
 }
 
 func TestReadWriteIdentity(t *testing.T) {
@@ -110,7 +111,7 @@ func TestPageBoundarySplit(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	e := NewEngine(mm, hw)
+	e := dma.NewEngine(mm, hw)
 	data := make([]byte, 3000)
 	for i := range data {
 		data[i] = byte(i)
@@ -150,7 +151,7 @@ func TestErrantDMABlocked(t *testing.T) {
 	if err := sp.Map(0x20000, f, pci.DirToDevice); err != nil { // read-only for device
 		t.Fatal(err)
 	}
-	e := NewEngine(mm, hw)
+	e := dma.NewEngine(mm, hw)
 
 	// Unmapped IOVA.
 	if err := e.Write(dev, 0x99000, []byte{1}); err == nil {
@@ -190,7 +191,7 @@ func TestPartialFailureSpanning(t *testing.T) {
 	if err := sp.Map(0x30000, f, pci.DirBidi); err != nil {
 		t.Fatal(err)
 	}
-	e := NewEngine(mm, hw)
+	e := dma.NewEngine(mm, hw)
 	err := e.Write(dev, uint64(0x30000+mem.PageSize-4), make([]byte, 8))
 	if err == nil {
 		t.Fatal("spanning write into unmapped page must fault")
@@ -202,10 +203,10 @@ func TestPartialFailureSpanning(t *testing.T) {
 
 func TestRouter(t *testing.T) {
 	mm := mustMem(t, 64*mem.PageSize)
-	r := NewRouter()
+	r := dma.NewRouter()
 	devA := pci.NewBDF(0, 1, 0)
 	r.Route(devA, iommu.Identity{})
-	e := NewEngine(mm, r)
+	e := dma.NewEngine(mm, r)
 
 	f, _ := mm.AllocFrame()
 	if err := e.Write(devA, uint64(f.PA()), []byte{1, 2, 3}); err != nil {

@@ -1,4 +1,4 @@
-package dma
+package dma_test
 
 import (
 	"testing"

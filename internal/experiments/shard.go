@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Shard returns the experiments shard index owns out of sel: every count-th
+// experiment starting at index. count <= 1 returns sel unchanged. Because
+// every experiment's cells are pure functions of (code, quality, seed), the
+// shard split never changes any cell — K shard reports merged with
+// MergeReports are byte-identical to one full run.
+func Shard(sel []Experiment, index, count int) []Experiment {
+	if count <= 1 {
+		return sel
+	}
+	var out []Experiment
+	for i, e := range sel {
+		if i%count == index {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ReadReport loads one -json report written by riommu-bench.
+func ReadReport(path string) (Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var rep Report
+	if err := json.Unmarshal(b, &rep); err != nil {
+		return Report{}, fmt.Errorf("report %s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// MergeReports combines per-shard reports into the canonical full report:
+// experiments are collected across all inputs and re-sorted into registry
+// order (the order a full serial run emits), so the merged bytes equal an
+// unsharded run over the union. Mixed qualities, interrupted shards, and
+// duplicate experiments are refused — each would silently change what the
+// merged report certifies.
+func MergeReports(reports []Report) (Report, error) {
+	if len(reports) == 0 {
+		return Report{}, fmt.Errorf("experiments: nothing to merge")
+	}
+	out := Report{Quality: reports[0].Quality}
+	seen := map[string]bool{}
+	for _, rep := range reports {
+		if rep.Interrupted {
+			return Report{}, fmt.Errorf("experiments: refusing to merge an interrupted shard report")
+		}
+		if rep.Quality != out.Quality {
+			return Report{}, fmt.Errorf("experiments: mixed qualities %q and %q", out.Quality, rep.Quality)
+		}
+		for _, e := range rep.Experiments {
+			if seen[e.ID] {
+				return Report{}, fmt.Errorf("experiments: %s present in more than one shard report", e.ID)
+			}
+			seen[e.ID] = true
+			out.Experiments = append(out.Experiments, e)
+		}
+	}
+	sort.Slice(out.Experiments, func(i, j int) bool {
+		return out.Experiments[i].ID < out.Experiments[j].ID
+	})
+	return out, nil
+}

@@ -81,27 +81,57 @@ type PhysMem struct {
 	lazy      bool  // free list not materialized (the common case)
 	alloced   []bool
 	pinCount  []uint32
+	dirty     []bool // dirty[f]: frame f's bytes may differ from zero
+
+	bk *backing // pooled backing this instance borrowed (nil if fresh-only)
 
 	hook   FaultHook
 	poison map[uint64]struct{} // poisoned cacheline indices
 }
 
-// dataPool recycles backing arrays between PhysMem instances. Reuse is
-// observation-equivalent to a fresh zeroed array: every read/write path
-// checks that the touched frames are allocated, and AllocFrame/AllocFrames
-// zero each frame as it is handed out, so the stale bytes of a recycled
-// array are unreachable. Pooling exists because experiment and campaign
-// grids build one multi-megabyte world per cell, and zeroing those arrays
-// dominated the simulator's wall-clock time.
-var dataPool sync.Pool
+// backing is the pooled per-instance state recycled between PhysMem worlds
+// of the same size: the flat byte array plus the frame-metadata arrays.
+// Reuse is observation-equivalent to freshly zeroed arrays: every read/write
+// path checks that the touched frames are allocated, AllocFrame/AllocFrames
+// zero each dirty frame as it is handed out, and New clears the metadata
+// prefix the previous life touched. The dirty array persists across lives —
+// it is precisely the memory of which recycled frames still hold stale
+// bytes — so a frame that was allocated but never written (posted-but-unused
+// RX buffers are the bulk of a NIC world) costs no memclr in the next life.
+// Pooling exists because experiment and campaign grids build one
+// multi-megabyte world per cell, and zeroing those arrays dominated the
+// simulator's wall-clock time.
+type backing struct {
+	data     []byte
+	alloced  []bool
+	pinCount []uint32
+	dirty    []bool
+	hi       int // frames [0, hi) saw metadata traffic in earlier lives
+}
 
-func getBacking(size uint64) []byte {
-	if v := dataPool.Get(); v != nil {
-		if b := v.([]byte); uint64(cap(b)) >= size {
-			return b[:size]
-		}
+// pools buckets backings by exact byte size, so a 128 MiB NIC world and a
+// 64 MiB block world recycle independently instead of evicting each other.
+var pools sync.Map // uint64 (size) -> *sync.Pool
+
+func getBacking(size uint64) *backing {
+	p, _ := pools.LoadOrStore(size, &sync.Pool{})
+	pool := p.(*sync.Pool)
+	frames := int(size / PageSize)
+	if v := pool.Get(); v != nil {
+		b := v.(*backing)
+		// Clear only the metadata prefix earlier lives touched: the
+		// watermark allocator hands frames out in ascending order, so
+		// nothing above b.hi was ever set.
+		clear(b.alloced[:b.hi])
+		clear(b.pinCount[:b.hi])
+		return b
 	}
-	return make([]byte, size)
+	return &backing{
+		data:     make([]byte, size),
+		alloced:  make([]bool, frames),
+		pinCount: make([]uint32, frames),
+		dirty:    make([]bool, frames),
+	}
 }
 
 // New creates a physical memory of the given size in bytes, which must be a
@@ -110,32 +140,55 @@ func New(size uint64) (*PhysMem, error) {
 	if size == 0 || size%PageSize != 0 {
 		return nil, &AccessError{Op: "alloc", Size: size, Why: "size must be a positive multiple of the page size"}
 	}
-	frames := int(size / PageSize)
+	bk := getBacking(size)
 	m := &PhysMem{
-		data:      getBacking(size),
-		frames:    frames,
+		data:      bk.data,
+		frames:    int(size / PageSize),
 		watermark: 1, // frame 0 is reserved
 		lazy:      true,
-		alloced:   make([]bool, frames),
-		pinCount:  make([]uint32, frames),
+		alloced:   bk.alloced,
+		pinCount:  bk.pinCount,
+		dirty:     bk.dirty,
+		bk:        bk,
 	}
 	m.alloced[0] = true
 	// Frame 0 is readable (it is marked allocated) but never handed out, so
 	// it must read as zeros even on a recycled backing array.
-	clear(m.data[:PageSize])
+	m.clearFrame(0)
 	return m, nil
 }
 
-// Release returns the backing array to the shared pool so the next PhysMem
-// of comparable size skips the large-allocation zeroing cost. The PhysMem —
-// and every component holding it — must not be used afterwards. Releasing
-// is optional; an unreleased PhysMem is simply garbage-collected.
+// clearFrame zeroes frame f's bytes unless they are already known zero.
+func (m *PhysMem) clearFrame(f PFN) {
+	if m.dirty[f] {
+		base := uint64(f.PA())
+		clear(m.data[base : base+PageSize])
+		m.dirty[f] = false
+	}
+}
+
+// Release returns the backing arrays to the per-size pool so the next
+// PhysMem of the same size skips the large-allocation zeroing cost. The
+// PhysMem — and every component holding it — must not be used afterwards.
+// Releasing is optional; an unreleased PhysMem is simply garbage-collected.
 func (m *PhysMem) Release() {
-	if m.data == nil {
+	if m.bk == nil || m.data == nil {
+		m.data = nil
 		return
 	}
-	dataPool.Put(m.data[:cap(m.data)])
+	hi := int(m.watermark)
+	if !m.lazy {
+		// A materialized free list hands frames out from the top, so the
+		// whole metadata range may have been touched.
+		hi = m.frames
+	}
+	if hi > m.bk.hi {
+		m.bk.hi = hi
+	}
+	p, _ := pools.LoadOrStore(uint64(len(m.data)), &sync.Pool{})
+	p.(*sync.Pool).Put(m.bk)
 	m.data = nil
+	m.bk = nil
 }
 
 // SetFaultHook installs (or, with nil, removes) the fault-injection hook.
@@ -224,8 +277,7 @@ func (m *PhysMem) AllocFrame() (PFN, error) {
 		return 0, &AccessError{Op: "alloc", Why: "out of physical frames"}
 	}
 	m.alloced[f] = true
-	base := uint64(f.PA())
-	clear(m.data[base : base+PageSize])
+	m.clearFrame(f)
 	m.ClearPoison(f.PA(), PageSize)
 	return f, nil
 }
@@ -251,9 +303,8 @@ func (m *PhysMem) AllocFrames(n int) (PFN, error) {
 			first := PFN(f - n + 1)
 			for i := 0; i < n; i++ {
 				m.takeFrame(first + PFN(i))
+				m.clearFrame(first + PFN(i))
 			}
-			base := uint64(first.PA())
-			clear(m.data[base : base+uint64(n)*PageSize])
 			m.ClearPoison(first.PA(), uint64(n)*PageSize)
 			return first, nil
 		}
@@ -411,6 +462,7 @@ func (m *PhysMem) Write(pa PA, src []byte) error {
 		return err
 	}
 	copy(m.data[pa:], src)
+	m.markDirty(pa, uint64(len(src)))
 	m.ClearPoison(pa, uint64(len(src)))
 	if m.hook != nil {
 		if m.hook.WriteFault(pa, m.data[pa:uint64(pa)+uint64(len(src))]) {
@@ -451,6 +503,7 @@ func (m *PhysMem) WriteU64(pa PA, v uint64) error {
 		}
 	}
 	binary.LittleEndian.PutUint64(m.data[pa:], v)
+	m.markDirty(pa, 8)
 	return nil
 }
 
@@ -473,6 +526,7 @@ func (m *PhysMem) WriteU32(pa PA, v uint32) error {
 		}
 	}
 	binary.LittleEndian.PutUint32(m.data[pa:], v)
+	m.markDirty(pa, 4)
 	return nil
 }
 
@@ -484,8 +538,43 @@ func (m *PhysMem) Fill(pa PA, size uint64, b byte) error {
 	for i := uint64(0); i < size; i++ {
 		m.data[uint64(pa)+i] = b
 	}
+	m.markDirty(pa, size)
 	m.ClearPoison(pa, size)
 	return nil
+}
+
+// Span returns a mutable view of [pa, pa+size): the metadata fast path for
+// simulated structures touched on every operation (descriptor rings, flat
+// rPTE tables). The whole range must be allocated when the view is taken and
+// stay allocated for the view's lifetime — it aliases the backing array
+// directly, so it must not outlive a Release. Like the typed accessors,
+// access through the view bypasses fault hooks and poison (metadata
+// integrity is modeled at the device layer, and DMA paths to the same bytes
+// still see every store). The range is conservatively marked dirty up front.
+func (m *PhysMem) Span(pa PA, size uint64) ([]byte, error) {
+	if err := m.checkRange("span", pa, size); err != nil {
+		return nil, err
+	}
+	m.markDirty(pa, size)
+	end := uint64(pa) + size
+	return m.data[pa:end:end], nil
+}
+
+// markDirty records that the frames covering [pa, pa+size) no longer hold
+// known-zero bytes; they will be memclr'd if reallocated (possibly in a
+// later pooled life of the backing array). Callers have already
+// bounds-checked the range. Writes outside the typed accessors, Write, and
+// Fill do not exist: every data mutation flows through this closed set, so
+// the dirty map is exact.
+func (m *PhysMem) markDirty(pa PA, size uint64) {
+	if size == 0 {
+		return
+	}
+	first := uint64(pa) >> PageShift
+	last := (uint64(pa) + size - 1) >> PageShift
+	for f := first; f <= last; f++ {
+		m.dirty[f] = true
+	}
 }
 
 // CachelinesSpanned returns how many cachelines the byte range [pa, pa+size)

@@ -24,7 +24,10 @@ package parallel
 
 import (
 	"errors"
+	"fmt"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -147,4 +150,30 @@ func CellSeed(base uint64, id string) uint64 {
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	return z ^ (z >> 31)
+}
+
+// ParseShard parses a -shard flag value "i/K" into (index, count): process
+// i of K cooperating processes, each computing every K-th grid cell. The
+// empty string means unsharded (0, 0). Like the worker count, the shard
+// split is pure scheduling — it must never change what any cell computes.
+func ParseShard(s string) (index, count int, err error) {
+	if strings.TrimSpace(s) == "" {
+		return 0, 0, nil
+	}
+	parts := strings.Split(s, "/")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("bad shard %q (want i/K, e.g. 0/4)", s)
+	}
+	index, err = strconv.Atoi(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad shard index in %q: %w", s, err)
+	}
+	count, err = strconv.Atoi(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad shard count in %q: %w", s, err)
+	}
+	if count < 1 || index < 0 || index >= count {
+		return 0, 0, fmt.Errorf("shard %q out of range (want 0 <= i < K)", s)
+	}
+	return index, count, nil
 }

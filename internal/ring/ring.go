@@ -8,6 +8,7 @@
 package ring
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"riommu/internal/mem"
@@ -52,6 +53,8 @@ type Ring struct {
 	frames mem.PFN
 	nfr    int
 	size   uint32
+	mask   uint32 // size-1 when size is a power of two, else 0
+	buf    []byte // direct view of the descriptor array (mem.Span)
 
 	head uint32 // next descriptor the device will consume
 	tail uint32 // next slot the driver will fill
@@ -70,7 +73,23 @@ func New(mm *mem.PhysMem, size uint32) (*Ring, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ring: allocating descriptor array: %w", err)
 	}
-	return &Ring{mm: mm, basePA: f.PA(), frames: f, nfr: nfr, size: size}, nil
+	buf, err := mm.Span(f.PA(), bytes)
+	if err != nil {
+		return nil, fmt.Errorf("ring: mapping descriptor array: %w", err)
+	}
+	r := &Ring{mm: mm, basePA: f.PA(), frames: f, nfr: nfr, size: size, buf: buf}
+	if size&(size-1) == 0 {
+		r.mask = size - 1 // real NIC ring sizes: index with a mask, not a division
+	}
+	return r, nil
+}
+
+// idx reduces a cursor or slot number modulo the ring size.
+func (r *Ring) idx(i uint32) uint32 {
+	if r.mask != 0 {
+		return i & r.mask
+	}
+	return i % r.size
 }
 
 // Free releases the descriptor array.
@@ -110,12 +129,12 @@ func (r *Ring) DeviceAddr() uint64 { return r.deviceAddr }
 
 // DeviceSlotAddr returns the device-visible address of slot i.
 func (r *Ring) DeviceSlotAddr(i uint32) uint64 {
-	return r.deviceAddr + uint64(i%r.size)*DescBytes
+	return r.deviceAddr + uint64(r.idx(i))*DescBytes
 }
 
 // SlotPA returns the physical address of slot i.
 func (r *Ring) SlotPA(i uint32) mem.PA {
-	return r.basePA + mem.PA((i%r.size)*DescBytes)
+	return r.basePA + mem.PA(r.idx(i)*DescBytes)
 }
 
 // Head returns the device cursor; Tail the driver cursor.
@@ -126,10 +145,15 @@ func (r *Ring) Tail() uint32 { return r.tail }
 
 // Pending returns the number of descriptors posted but not yet consumed by
 // the device.
-func (r *Ring) Pending() uint32 { return (r.tail + r.size - r.head) % r.size }
+func (r *Ring) Pending() uint32 {
+	if r.mask != 0 {
+		return (r.tail - r.head) & r.mask
+	}
+	return (r.tail + r.size - r.head) % r.size
+}
 
 // Full reports whether the ring cannot accept another descriptor.
-func (r *Ring) Full() bool { return (r.tail+1)%r.size == r.head }
+func (r *Ring) Full() bool { return r.idx(r.tail+1) == r.head }
 
 // Empty reports whether no descriptors are pending.
 func (r *Ring) Empty() bool { return r.head == r.tail }
@@ -144,27 +168,22 @@ func decode(w0, w1 uint64) Descriptor {
 }
 
 // WriteSlot stores a descriptor into slot i (driver-side, direct memory).
+// Slots are accessed through the Span view taken at allocation: the array
+// stays allocated for the ring's lifetime and i wraps modulo the size, so —
+// exactly like the typed mm accessors this replaces — the store cannot fail,
+// and device DMA to the same bytes stays coherent with it.
 func (r *Ring) WriteSlot(i uint32, d Descriptor) error {
-	pa := r.SlotPA(i)
+	s := r.buf[r.idx(i)*DescBytes:]
 	w0, w1 := encode(d)
-	if err := r.mm.WriteU64(pa, w0); err != nil {
-		return err
-	}
-	return r.mm.WriteU64(pa+8, w1)
+	binary.LittleEndian.PutUint64(s, w0)
+	binary.LittleEndian.PutUint64(s[8:], w1)
+	return nil
 }
 
 // ReadSlot loads the descriptor in slot i (driver-side, direct memory).
 func (r *Ring) ReadSlot(i uint32) (Descriptor, error) {
-	pa := r.SlotPA(i)
-	w0, err := r.mm.ReadU64(pa)
-	if err != nil {
-		return Descriptor{}, err
-	}
-	w1, err := r.mm.ReadU64(pa + 8)
-	if err != nil {
-		return Descriptor{}, err
-	}
-	return decode(w0, w1), nil
+	s := r.buf[r.idx(i)*DescBytes:]
+	return decode(binary.LittleEndian.Uint64(s), binary.LittleEndian.Uint64(s[8:])), nil
 }
 
 // Post adds a descriptor at the tail and advances it. It fails when the
@@ -178,8 +197,40 @@ func (r *Ring) Post(d Descriptor) (slot uint32, err error) {
 	if err := r.WriteSlot(slot, d); err != nil {
 		return 0, err
 	}
-	r.tail = (r.tail + 1) % r.size
+	r.tail = r.idx(r.tail + 1)
 	return slot, nil
+}
+
+// PostN posts one descriptor per address in addrs, all with the same length
+// and ready status, advancing the tail once per descriptor exactly as N
+// scalar Posts would. It returns the first slot filled (the others follow
+// modulo the size) and how many were posted; posting stops with an error if
+// the ring fills first.
+func (r *Ring) PostN(addrs []uint64, length uint32) (first uint32, n int, err error) {
+	first = r.tail
+	w1 := uint64(length) | uint64(FlagReady)<<32
+	// One capacity check up front replaces the per-descriptor Full() test;
+	// nothing consumes slots while the driver is posting, so the available
+	// count is static for the whole batch.
+	post := len(addrs)
+	if avail := int(r.size - 1 - r.Pending()); post > avail {
+		post = avail
+	}
+	tail := r.tail
+	for _, a := range addrs[:post] {
+		s := r.buf[tail*DescBytes:]
+		binary.LittleEndian.PutUint64(s, a)
+		binary.LittleEndian.PutUint64(s[8:], w1)
+		if tail++; tail == r.size {
+			tail = 0
+		}
+	}
+	r.tail = tail
+	n = post
+	if post < len(addrs) {
+		return first, n, fmt.Errorf("ring: full (%d pending)", r.Pending())
+	}
+	return first, n, nil
 }
 
 // AdvanceHead moves the device cursor past one consumed descriptor. Called
@@ -188,7 +239,7 @@ func (r *Ring) AdvanceHead() error {
 	if r.Empty() {
 		return fmt.Errorf("ring: advancing head of empty ring")
 	}
-	r.head = (r.head + 1) % r.size
+	r.head = r.idx(r.head + 1)
 	return nil
 }
 

@@ -293,4 +293,7 @@ func (s *System) ResetClocks() {
 // simulator wall-clock time. The system — and every driver, device, and
 // engine built on it — must not be used afterwards. Closing is optional:
 // an unclosed system is simply garbage-collected.
-func (s *System) Close() { s.Mem.Release() }
+func (s *System) Close() {
+	s.Eng.Close()
+	s.Mem.Release()
+}

@@ -3,6 +3,8 @@ package workload
 import (
 	"math/rand"
 
+	"riommu/internal/detrand"
+
 	"riommu/internal/device"
 	"riommu/internal/driver"
 	"riommu/internal/mem"
@@ -104,4 +106,4 @@ func Bonnie(mode sim.Mode, opts BonnieOpts) (Result, error) {
 // newSeqRand returns the deterministic source used for AHCI completion
 // order; sequential Bonnie issues at depth 1, so the order is trivially
 // FIFO regardless of the seed.
-func newSeqRand() *rand.Rand { return rand.New(rand.NewSource(1)) }
+func newSeqRand() *rand.Rand { return detrand.New(1) }

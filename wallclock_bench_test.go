@@ -18,6 +18,7 @@ import (
 	"riommu/internal/campaign"
 	"riommu/internal/core"
 	"riommu/internal/cycles"
+	"riommu/internal/dma"
 	"riommu/internal/iommu"
 	"riommu/internal/iotlb"
 	"riommu/internal/iova"
@@ -151,6 +152,46 @@ func BenchmarkIOTLB(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := hw.Translate(bdf, iovaAddr, 64, pci.DirFromDevice); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineReadU64 times the DMA engine's aligned-quadword fast path:
+// descriptor and completion reads are 8-byte aligned and never cross a page,
+// so ReadU64 does one translate + audit + copy without entering the chunked
+// transfer loop. This pins the fast path against regressions (e.g. the chunk
+// loop creeping back in).
+func BenchmarkEngineReadU64(b *testing.B) {
+	mm := mustMem(b, 1024*mem.PageSize)
+	clk := &cycles.Clock{}
+	model := cycles.DefaultModel()
+	hier, err := pagetable.NewHierarchy(mm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hw := iommu.New(clk, &model, hier, 0)
+	bdf := pci.NewBDF(0, 5, 0)
+	sp, err := pagetable.NewSpace(mm, clk, &model, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := hier.Attach(bdf, sp); err != nil {
+		b.Fatal(err)
+	}
+	f, _ := mm.AllocFrame()
+	const iovaAddr = 7 << mem.PageShift
+	if err := sp.Map(iovaAddr, f, pci.DirBidi); err != nil {
+		b.Fatal(err)
+	}
+	eng := dma.NewEngine(mm, hw)
+	if _, err := eng.ReadU64(bdf, iovaAddr); err != nil {
+		b.Fatal(err) // warm the IOTLB entry
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.ReadU64(bdf, iovaAddr); err != nil {
 			b.Fatal(err)
 		}
 	}
