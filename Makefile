@@ -3,11 +3,11 @@ FUZZTIME ?= 10s
 BENCH_GOLDEN ?= BENCH_golden.json
 BENCH_WALLCLOCK ?= BENCH_wallclock.txt
 BENCH_GATE ?= BENCH_gate.json
-WALLCLOCK_PATTERN ?= MapUnmap|Rtranslate|^BenchmarkWalk$$|^BenchmarkIOTLB$$|CampaignCell|EngineReadU64
+WALLCLOCK_PATTERN ?= MapUnmap|Rtranslate|^BenchmarkWalk$$|^BenchmarkIOTLB$$|CampaignCell|EngineReadU64|TrafficCell
 
-COVER_FLOOR ?= 75.0
+COVER_FLOOR ?= 78.0
 
-.PHONY: all build test tier1 vet fmt-check race ci ci-local cover equivalence fuzz fuzz-smoke bench-json bench-check bench-wallclock bench-wallclock-baseline alloc-check grid-full grid-check profile audit hotplug tenants clean
+.PHONY: all build test tier1 vet fmt-check race ci ci-local cover equivalence fuzz fuzz-smoke bench-json bench-check bench-wallclock bench-wallclock-baseline alloc-check grid-full grid-check profile audit hotplug tenants traffic clean
 
 all: tier1
 
@@ -39,7 +39,7 @@ ci: build vet race
 # ci-local mirrors every gate of .github/workflows/ci.yml in one invocation
 # (grid-check stands in for the scheduled grid-full job: same byte-identity
 # property, CI-sized rounds).
-ci-local: build vet fmt-check test race equivalence fuzz-smoke bench-check alloc-check cover grid-check audit hotplug tenants
+ci-local: build vet fmt-check test race equivalence fuzz-smoke bench-check alloc-check cover grid-check audit hotplug tenants traffic
 
 # equivalence runs the mode-equivalence property suite under the race
 # detector: every protection mode must produce byte-identical Tx/Rx payloads
@@ -86,12 +86,24 @@ tenants:
 	$(GO) run -race ./cmd/riommu-faults \
 		-rounds 30 -rates 0 -modes strict -tenants 3 -tenantchaos all > /dev/null
 
+# traffic is the fleet-scale churn gate: a quick Figure S2 sweep (connection
+# churn x all seven modes x kernel/bypass paths, every cell audited) plus an
+# audited campaign churn axis, built with the race detector. The sweep
+# itself exits non-zero if any cell records an isolation violation; the
+# crossover property (rIOMMU and bypass >= 3x strict goodput at high churn)
+# is pinned by TestFigS2Crossover and the committed golden.
+traffic: build
+	$(GO) run ./cmd/riommu-bench -quality quick -exp figS2 > /dev/null
+	$(GO) run -race ./cmd/riommu-faults \
+		-rounds 16 -rates 0 -modes strict,riommu -churn 200000 > /dev/null
+
 # Short bounded runs of the fault-determinism and IRTE-allocator fuzzers
 # (the seed corpora also run as part of plain `go test`).
 fuzz:
 	$(GO) test ./internal/sim/ -run FuzzFaultDeterminism -fuzz FuzzFaultDeterminism -fuzztime 20s
 	$(GO) test ./internal/intremap/ -run FuzzIRTEAllocator -fuzz FuzzIRTEAllocator -fuzztime 20s
 	$(GO) test ./internal/tenant/ -run FuzzStage2Walk -fuzz FuzzStage2Walk -fuzztime 20s
+	$(GO) test ./internal/traffic/ -run FuzzConnectionChurn -fuzz FuzzConnectionChurn -fuzztime 20s
 
 # fuzz-smoke is the CI-sized variant: long enough to execute the engines on
 # generated inputs, short enough for every push.
@@ -99,6 +111,7 @@ fuzz-smoke:
 	$(GO) test ./internal/sim/ -run FuzzFaultDeterminism -fuzz FuzzFaultDeterminism -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/intremap/ -run FuzzIRTEAllocator -fuzz FuzzIRTEAllocator -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/tenant/ -run FuzzStage2Walk -fuzz FuzzStage2Walk -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/traffic/ -run FuzzConnectionChurn -fuzz FuzzConnectionChurn -fuzztime $(FUZZTIME)
 
 # bench-json regenerates the committed benchmark golden. Run it (and commit
 # the result) whenever an intentional change moves any cell metric. The
@@ -159,7 +172,7 @@ bench-wallclock-baseline: build
 GRID_SHARDS ?= 4
 GRID_ROUNDS ?= 150
 GRID_FLAGS = -rounds $(GRID_ROUNDS) -audit -chaos all -intchaos all -hotplug all \
-	-cores 2,4 -tenants 3 -tenantchaos all
+	-cores 2,4 -tenants 3 -tenantchaos all -churn 2000,500000
 grid-full: build
 	@i=0; while [ $$i -lt $(GRID_SHARDS) ]; do \
 		echo "grid-full: shard $$i/$(GRID_SHARDS)"; \

@@ -11,6 +11,7 @@
 //	              [-parallel N] [-json FILE] [-audit] [-chaos s1,s2,...|all]
 //	              [-cores n1,n2,...] [-intchaos s1,s2,...|all] [-hotplug s1,s2,...|all]
 //	              [-tenants n1,n2,...] [-tenantchaos s1,s2,...|all]
+//	              [-churn n1,n2,...]
 //
 // -cores adds multi-queue scale-out cells: for each width > 1, every mode x
 // rate combination soaks an MQNIC with that many queue pairs under one
@@ -33,6 +34,12 @@
 // hypervisor. Tenant 0 is hostile; the cross-tenant gate then requires
 // zero cross-tenant accesses, the hostile tenant quarantined, and every
 // victim tenant at exactly 100% availability — any miss fails the command.
+//
+// -churn adds fleet-traffic connection-churn cells: for each target
+// connection count, every selected mode drives the internal/traffic engine
+// (seeded open/close churn, mixed kernel/bypass fleet) with the shadow
+// oracle attached, so the map/unmap storm regime is exercised and gated
+// alongside the fault campaign.
 //
 // -intchaos adds hostile-MSI interrupt cells (unmapped-vector storms,
 // spoofed-requester messages, stale-IRTE replay) across all seven
@@ -111,6 +118,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		intArg   = fs.String("intchaos", "", "comma-separated hostile-MSI interrupt scenarios, or \"all\" (implies -audit)")
 		plugArg  = fs.String("hotplug", "", "comma-separated hot-plug storm scenarios, or \"all\" (implies -audit)")
 		tenArg   = fs.String("tenants", "", "comma-separated guest counts (e.g. \"3,8\"); adds hostile-tenant two-stage cells and enforces the cross-tenant gate")
+		churnArg = fs.String("churn", "", "comma-separated fleet connection counts (e.g. \"2000,500000\"); adds audited connection-churn traffic cells per mode")
 		tchArg   = fs.String("tenantchaos", "", "comma-separated hostile-tenant scenarios, or \"all\" (default all when -tenants is set)")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile (runtime/pprof) to this file")
 		memProf  = fs.String("memprofile", "", "write an allocs heap profile to this file on exit")
@@ -195,6 +203,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	churn, err := campaign.ParseChurn(*churnArg)
+	if err != nil {
+		fmt.Fprintln(stderr, "riommu-faults:", err)
+		return 2
+	}
+
 	shardIdx, shardCount, err := campaign.ParseShard(*shardArg)
 	if err != nil {
 		fmt.Fprintln(stderr, "riommu-faults:", err)
@@ -226,6 +240,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Tenants:  tenants,
 		// Run defaults TenantChaos to every scenario when Tenants is set.
 		TenantChaos: tenantScenarios,
+		Churn:       churn,
 		ShardIndex:  shardIdx,
 		ShardCount:  shardCount,
 		Checkpoint:  ckptPath,

@@ -195,7 +195,12 @@ func (o *Oracle) retire(bdf pci.BDF, m *Mapping) {
 		o.lastHit = nil
 	}
 	r := append(o.retired[bdf], Retired{Mapping: *m, UnmapCycle: o.clk.Now()})
-	if len(r) > retiredCap {
+	// Compact lazily, at twice the cap, so a teardown that retires a whole
+	// ring (8K mlx Rx buffers) pays a handful of copies rather than one
+	// full-window copy per unmap. Readers only ever need the newest
+	// retiredCap entries; the slack between cap and 2*cap just widens the
+	// stale-classification window, which errs on the informative side.
+	if len(r) >= 2*retiredCap {
 		r = append(r[:0:0], r[len(r)-retiredCap:]...)
 	}
 	o.retired[bdf] = r

@@ -1,6 +1,7 @@
 package audit
 
 import (
+	"strings"
 	"testing"
 
 	"riommu/internal/cycles"
@@ -137,5 +138,39 @@ func TestRetiredHistoryBounded(t *testing.T) {
 	last := o.RecentRetired(bdf, 1)
 	if len(last) != 1 || last[0].IOVA != uint64(0x1000+0x1000*(3*retiredCap-1)) {
 		t.Fatalf("newest tombstone wrong: %+v", last)
+	}
+}
+
+func TestOracleAccessorsAndStats(t *testing.T) {
+	o, _ := newTestOracle()
+	if o.Mode() != "strict" {
+		t.Errorf("Mode() = %q", o.Mode())
+	}
+	want := []string{ReasonStale, ReasonUnmapped, ReasonBounds, ReasonDirection, ReasonPAMismatch}
+	got := Reasons()
+	if len(got) != len(want) {
+		t.Fatalf("Reasons() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Reasons()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	o.OnInvalidate(bdf, 0x4000)
+	o.OnInvalidate(bdf, 0x5000)
+	o.OnFlush()
+	if o.InvEntries != 2 || o.InvFlushes != 1 {
+		t.Errorf("invalidation stats = %d entries / %d flushes", o.InvEntries, o.InvFlushes)
+	}
+	// A wild access renders with every field an operator needs to triage it.
+	o.VerifyDMA(bdf, 0xdead000, mem.PA(0xdead000), 64, pci.DirFromDevice)
+	if o.Violations != 1 || len(o.Events) != 1 {
+		t.Fatalf("wild access not flagged: %d violations", o.Violations)
+	}
+	s := o.Events[0].String()
+	for _, frag := range []string{"strict", ReasonUnmapped, "iova=0xdead000", "size=64"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("Violation.String() = %q missing %q", s, frag)
+		}
 	}
 }

@@ -157,6 +157,26 @@ func ParseTenants(s string) ([]int, error) {
 	return out, nil
 }
 
+// ParseChurn parses a comma-separated list of fleet connection counts for
+// the traffic-engine churn axis ("" → none).
+func ParseChurn(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("bad churn value %q: %w", f, err)
+		}
+		if n < 1 || n > 10_000_000 {
+			return nil, fmt.Errorf("churn connections %d out of [1,10000000]", n)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
 // ParseRates parses a comma-separated list of per-opportunity fault rates.
 func ParseRates(s string) ([]float64, error) {
 	var out []float64
@@ -209,6 +229,11 @@ type Options struct {
 	// TenantChaos selects the hostile-tenant scenarios the Tenants axis
 	// sweeps (defaults to all when Tenants is set and this is empty).
 	TenantChaos []chaos.TenantScenario
+	// Churn appends fleet-traffic cells: for each target connection count,
+	// every mode runs the internal/traffic engine (connection churn,
+	// heavy-tailed mixes, mixed kernel/bypass paths) under the shadow
+	// oracle. Churn cells are always audited.
+	Churn []int
 
 	// ShardIndex/ShardCount split the grid across cooperating processes:
 	// with ShardCount = K, this process computes only the cells whose grid
@@ -250,10 +275,17 @@ type Key struct {
 	// TenantScenario names its hostile-tenant behavior.
 	Tenants        int
 	TenantScenario string
+	// Churn marks a fleet-traffic connection-churn cell (0 for every
+	// pre-existing cell, so legacy identities and seeds are unchanged);
+	// the value is the modeled concurrent-connection count.
+	Churn int
 }
 
 // String is the cell's stable identity; per-cell seeds derive from it.
 func (k Key) String() string {
+	if k.Churn > 0 {
+		return fmt.Sprintf("%s/%s/churn=%d", k.Device, k.Mode, k.Churn)
+	}
 	if k.Tenants > 0 {
 		return fmt.Sprintf("%s/%s/tenants=%d/tchaos=%s", k.Device, k.Mode, k.Tenants, k.TenantScenario)
 	}
@@ -318,6 +350,13 @@ type CellMetrics struct {
 	Removals        uint64
 	Quarantines     uint64
 	GhostDeliveries uint64 // interrupts delivered while the slot was removed
+
+	// Churn cells only: fleet-traffic outcomes from internal/traffic.
+	DataPackets   uint64
+	Opens, Closes uint64 // flow churn (steering-buffer map/unmap storms)
+	BypassPackets uint64
+	AppDigest     uint64 // application byte-stream digest (path-invariant)
+	MapDigest     uint64 // protection-boundary mapping-history digest
 
 	// Tenant cells only: the hypervisor-level truth. TenantChecked /
 	// TenantViolations / CrossTenant come from the tenant oracle (stage-2
@@ -433,6 +472,17 @@ func (o Options) Grid() []Key {
 			}
 		}
 	}
+	// The connection-churn sweep is likewise appended last (after tenants)
+	// so every pre-existing cell keeps its grid position: turning the churn
+	// axis on is a pure insertion.
+	for _, n := range o.Churn {
+		if n < 1 {
+			continue
+		}
+		for _, m := range o.Modes {
+			keys = append(keys, Key{Device: "nic", Mode: m, Churn: n})
+		}
+	}
 	return keys
 }
 
@@ -517,6 +567,8 @@ func Run(opts Options) (Result, error) {
 			err error
 		)
 		switch {
+		case k.Churn > 0:
+			c, err = churnCell(k.Mode, seed, opts.Rounds, k.Churn)
 		case k.Tenants > 0:
 			c, err = tenantCell(k.Mode, chaos.TenantScenario(k.TenantScenario), seed, opts.Rounds, k.Tenants)
 		case k.Scenario != "":
@@ -1352,7 +1404,7 @@ func (r Result) Render() string {
 	nicTab.AlignLeft(0)
 	var byClass stats.Counters
 	for i, k := range r.Keys {
-		if k.Device != "nic" || k.Clean || k.Cores > 1 {
+		if k.Device != "nic" || k.Clean || k.Cores > 1 || k.Churn > 0 {
 			continue
 		}
 		c := r.Cells[i]
@@ -1515,6 +1567,30 @@ func (r Result) Render() string {
 		}
 		b.WriteByte('\n')
 		b.WriteString(tTab.String())
+	}
+
+	hasChurn := false
+	for _, k := range r.Keys {
+		if k.Churn > 0 {
+			hasChurn = true
+			break
+		}
+	}
+	if hasChurn {
+		cTab := stats.NewTable(
+			fmt.Sprintf("Connection-churn campaign — %s fleet traffic, %d ticks/cell", device.ProfileBRCM.Name, r.Opts.Rounds),
+			"mode", "conns", "pkts", "opens", "closes", "bypass", "checked", "viol", "cyc/pkt", "Gbps")
+		cTab.AlignLeft(0)
+		for i, k := range r.Keys {
+			if k.Churn == 0 {
+				continue
+			}
+			c := r.Cells[i]
+			cTab.Row(k.Mode.String(), k.Churn, c.DataPackets, c.Opens, c.Closes,
+				c.BypassPackets, c.Checked, c.Violations, c.CyclesPerOp, c.Gbps)
+		}
+		b.WriteByte('\n')
+		b.WriteString(cTab.String())
 	}
 	return b.String()
 }

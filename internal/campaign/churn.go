@@ -1,0 +1,70 @@
+package campaign
+
+// The connection-churn axis: each cell runs the internal/traffic fleet
+// engine — a full connection table under seeded open/close churn with a
+// mixed kernel/bypass fleet — with the shadow translation oracle attached.
+// The target connection count sets the churn rate: the live table is a
+// fixed-size window onto the fleet and the per-flow packet budget shrinks
+// as connections grow, so high counts are the map/unmap storm regime the
+// paper calls the IOMMU's worst case. Like every other cell, a churn cell
+// is a pure function of (key, seed, rounds).
+
+import (
+	"riommu/internal/device"
+	"riommu/internal/sim"
+	"riommu/internal/traffic"
+)
+
+// churnSlotCap bounds the simulated live table so a cell's wall-clock cost
+// stays flat while the modeled fleet grows via shorter flows.
+const churnSlotCap = 160
+
+func churnCell(mode sim.Mode, seed uint64, rounds, conns int) (CellMetrics, error) {
+	slots := conns
+	if slots > churnSlotCap {
+		slots = churnSlotCap
+	}
+	mean := (1 << 18) / conns
+	if mean < 1 {
+		mean = 1
+	}
+	e, err := traffic.NewEngine(traffic.Config{
+		Mode:            mode,
+		Profile:         device.ProfileBRCM,
+		Seed:            seed,
+		TableSlots:      slots,
+		MeanFlowPackets: mean,
+		BypassPermille:  250, // a quarter of the fleet runs kernel-bypass
+		Ticks:           rounds,
+		WarmupTicks:     rounds / 4,
+		MsgsPerTick:     4,
+		IncastEvery:     5,
+		IncastFan:       8,
+		Diurnal:         true,
+		Audit:           true,
+	})
+	if err != nil {
+		return CellMetrics{}, err
+	}
+	r, err := e.RunSchedule()
+	if err != nil {
+		e.Close()
+		return CellMetrics{}, err
+	}
+	c := CellMetrics{
+		Clock:         r.Cycles,
+		CyclesPerOp:   r.CyclesPerPkt,
+		Gbps:          r.Gbps,
+		DataPackets:   r.DataPackets,
+		Opens:         r.Opens,
+		Closes:        r.Closes,
+		BypassPackets: r.BypassPackets,
+		AppDigest:     r.AppDigest,
+		MapDigest:     r.MapDigest,
+	}
+	recordAudit(&c, e.System().Auditor, r.DataPackets)
+	if err := e.Close(); err != nil {
+		return CellMetrics{}, err
+	}
+	return c, nil
+}

@@ -1,0 +1,139 @@
+package check
+
+import (
+	"reflect"
+	"testing"
+
+	"riommu/internal/device"
+	"riommu/internal/parallel"
+	"riommu/internal/sim"
+	"riommu/internal/traffic"
+)
+
+// trafficGrid is the seeded cell set the determinism sweep runs: every
+// protection mode at a low- and a high-churn point, with a mixed
+// kernel/bypass fleet and the audit oracle attached. Small on purpose —
+// this suite runs under the race detector.
+func trafficGrid() []traffic.Config {
+	var grid []traffic.Config
+	for _, mode := range sim.AllModes() {
+		for _, mean := range []int{24, 1} {
+			grid = append(grid, traffic.Config{
+				Mode:            mode,
+				Profile:         device.ProfileMLX,
+				Seed:            0x7aff1c<<8 | uint64(mean),
+				TableSlots:      16,
+				MeanFlowPackets: mean,
+				BypassPermille:  300,
+				Ticks:           8,
+				WarmupTicks:     2,
+				MsgsPerTick:     4,
+				IncastEvery:     4,
+				IncastFan:       8,
+				Diurnal:         true,
+				Audit:           true,
+			})
+		}
+	}
+	return grid
+}
+
+// TestTrafficEquivalence is the traffic engine's determinism property:
+// running the same seeded cell grid serially and with 2 and 8 workers must
+// produce deeply identical results — application byte-stream digests,
+// protection-boundary mapping histories, per-component cycle ledgers, and
+// oracle counters — because every cell is an independent seeded world that
+// never consults the wall clock or shared state. Run under -race, this also
+// proves the engine shares nothing across concurrent cells.
+func TestTrafficEquivalence(t *testing.T) {
+	grid := trafficGrid()
+	run := func(workers int) []traffic.Result {
+		t.Helper()
+		out, err := parallel.Map(workers, grid, func(_ int, cfg traffic.Config) (traffic.Result, error) {
+			return traffic.Run(cfg)
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return out
+	}
+	serial := run(1)
+	for i, r := range serial {
+		if r.DataPackets == 0 || r.MapEvents == 0 {
+			t.Fatalf("cell %d (%s) is degenerate: %d packets, %d map events",
+				i, grid[i].Mode, r.DataPackets, r.MapEvents)
+		}
+		if r.AuditViolations != 0 {
+			t.Errorf("cell %d (%s): %d audit violations without an attacker",
+				i, grid[i].Mode, r.AuditViolations)
+		}
+	}
+	for _, workers := range []int{2, 8} {
+		par := run(workers)
+		for i := range serial {
+			if !reflect.DeepEqual(serial[i], par[i]) {
+				t.Errorf("workers=%d cell %d (%s): result diverges from serial run\nserial:   %+v\nparallel: %+v",
+					workers, i, grid[i].Mode, serial[i], par[i])
+			}
+		}
+	}
+}
+
+// TestTrafficPathInvariance pins the kernel-vs-bypass contract: the data
+// path is a per-connection transport decision, so an all-kernel fleet and
+// an all-bypass fleet under the same seed must deliver the identical
+// application byte stream (same AppDigest, same payload packet count) while
+// their protection-boundary mapping histories necessarily differ (per-DMA
+// map/unmap versus persistent pool mappings).
+func TestTrafficPathInvariance(t *testing.T) {
+	for _, mode := range []sim.Mode{sim.Strict, sim.Defer, sim.RIOMMU, sim.None} {
+		t.Run(mode.String(), func(t *testing.T) {
+			base := traffic.Config{
+				Mode:            mode,
+				Profile:         device.ProfileMLX,
+				Seed:            0xbeef,
+				TableSlots:      24,
+				MeanFlowPackets: 6,
+				Ticks:           10,
+				WarmupTicks:     3,
+				MsgsPerTick:     5,
+				IncastEvery:     4,
+				IncastFan:       8,
+				Diurnal:         true,
+				Audit:           true,
+			}
+			kernel := base
+			kernel.BypassPermille = 0
+			bypass := base
+			bypass.BypassPermille = 1000
+			kr, err := traffic.Run(kernel)
+			if err != nil {
+				t.Fatalf("kernel: %v", err)
+			}
+			br, err := traffic.Run(bypass)
+			if err != nil {
+				t.Fatalf("bypass: %v", err)
+			}
+			if kr.AppDigest != br.AppDigest {
+				t.Errorf("application byte stream diverges across paths: kernel digest %#x, bypass %#x",
+					kr.AppDigest, br.AppDigest)
+			}
+			if kr.DataPackets != br.DataPackets {
+				t.Errorf("payload packet count diverges: kernel %d, bypass %d",
+					kr.DataPackets, br.DataPackets)
+			}
+			if kr.MapDigest == br.MapDigest {
+				t.Errorf("mapping histories identical (%#x): the bypass path is not persisting its pool",
+					kr.MapDigest)
+			}
+			if br.BypassPackets == 0 {
+				t.Error("bypass fleet moved no packets over the polling path")
+			}
+			for name, r := range map[string]traffic.Result{"kernel": kr, "bypass": br} {
+				if r.AuditViolations != 0 {
+					t.Errorf("%s: %d audit violations without an attacker", name, r.AuditViolations)
+				}
+			}
+		})
+	}
+}

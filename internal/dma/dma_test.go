@@ -222,3 +222,72 @@ func TestRouter(t *testing.T) {
 		t.Errorf("data = %v", b)
 	}
 }
+
+// TestRouterFallbackAndBatch covers the router plumbing the supervisor and
+// hot-plug paths lean on: the default-unit fallback, route save/restore
+// (RouteOf + Unroute), and batch dispatch through both a route and the
+// scalar fallback.
+func TestRouterFallbackAndBatch(t *testing.T) {
+	mm := mustMem(t, 64*mem.PageSize)
+	r := dma.NewRouter()
+	devA, devB := pci.NewBDF(0, 1, 0), pci.NewBDF(0, 2, 0)
+	r.Route(devA, iommu.Identity{})
+	f, _ := mm.AllocFrame()
+	iova := uint64(f.PA())
+
+	// Unrouted batch with no default faults on the first request.
+	reqs := []dma.Req{{IOVA: iova, Size: 8, Dir: pci.DirFromDevice}}
+	out := make([]dma.Resp, 1)
+	if n := r.TranslateBatch(devB, reqs, out); n != 0 || out[0].Err == nil {
+		t.Errorf("unrouted batch: n=%d err=%v, want a routing fault", n, out[0].Err)
+	}
+	// Installing a default unit reroutes the strays.
+	r.SetDefault(iommu.Identity{})
+	if n := r.TranslateBatch(devB, reqs, out); n != 1 || out[0].Err != nil {
+		t.Errorf("default-routed batch: n=%d err=%v", n, out[0].Err)
+	}
+	if _, err := r.Translate(devB, iova, 8, pci.DirFromDevice); err != nil {
+		t.Errorf("default-routed scalar: %v", err)
+	}
+	// Identity speaks no batch verb, so the route goes through ScalarBatch.
+	if n := r.TranslateBatch(devA, reqs, out); n != 1 || out[0].Err != nil {
+		t.Errorf("routed scalar-fallback batch: n=%d err=%v", n, out[0].Err)
+	}
+
+	// Quarantine shape: save the route, splice a blackhole, restore.
+	saved, ok := r.RouteOf(devA)
+	if !ok {
+		t.Fatal("RouteOf lost the explicit route")
+	}
+	r.Route(devA, dma.Blackhole{})
+	if _, err := r.Translate(devA, iova, 8, pci.DirFromDevice); err == nil {
+		t.Error("blackholed device still translates")
+	}
+	r.Route(devA, saved)
+	if _, err := r.Translate(devA, iova, 8, pci.DirFromDevice); err != nil {
+		t.Errorf("restored route: %v", err)
+	}
+	r.Unroute(devA)
+	if _, ok := r.RouteOf(devA); ok {
+		t.Error("Unroute left the explicit route behind")
+	}
+
+	// Engine plumbing: the translator accessor and closer teardown hooks.
+	e := dma.NewEngine(mm, r)
+	if e.Translator() == nil {
+		t.Error("engine lost its translator")
+	}
+	if e.Faults() != nil {
+		t.Error("fresh engine has a fault injector")
+	}
+	e.SetBatch(false)
+	if err := e.Write(devA, iova, []byte{4, 5}); err != nil {
+		t.Fatalf("default-routed write with batching off: %v", err)
+	}
+	closed := 0
+	e.AddCloser(func() { closed++ })
+	e.Close()
+	if closed != 1 {
+		t.Errorf("Close ran %d closers, want 1", closed)
+	}
+}

@@ -21,7 +21,7 @@ func within(t *testing.T, name string, got, want, frac float64) {
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	want := []string{"ablations", "bonnie", "figure12", "figure7", "figure8", "intremap", "methodology", "misspenalty", "nvme", "pathology", "prefetchers", "scalability", "table1", "table2", "table3"}
+	want := []string{"ablations", "bonnie", "figS2", "figure12", "figure7", "figure8", "intremap", "methodology", "misspenalty", "nvme", "pathology", "prefetchers", "scalability", "table1", "table2", "table3"}
 	if len(all) != len(want) {
 		t.Fatalf("registered %d experiments, want %d", len(all), len(want))
 	}

@@ -1,0 +1,122 @@
+package iova
+
+import "testing"
+
+// churnRNG is a splitmix64 step, so the storm schedule is seeded and
+// byte-reproducible like everything else in the repo.
+func churnRNG(s *uint64) uint64 {
+	*s += 0x9E3779B97F4A7C15
+	z := *s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// churnStorm drives one open/close storm through a: a sliding window of
+// live flows where each step opens a heavy-tailed range (mostly single
+// pages, occasionally multi-page scatter lists) and, once the window is
+// full, closes a random live one. All flows close at the end, so the
+// allocator returns to idle between storms — the shape of short-lived
+// datacenter connections between diurnal peaks.
+func churnStorm(t *testing.T, a Allocator, seed *uint64, flows, window int) {
+	t.Helper()
+	live := make([]uint64, 0, window)
+	for i := 0; i < flows; i++ {
+		pages := uint64(1)
+		switch r := churnRNG(seed) % 16; {
+		case r < 4:
+			pages = 2
+		case r < 6:
+			pages = 3
+		case r < 7:
+			pages = 4
+		}
+		p, err := a.Alloc(pages)
+		if err != nil {
+			t.Fatalf("storm alloc %d (%d pages): %v", i, pages, err)
+		}
+		live = append(live, p)
+		if len(live) >= window {
+			j := int(churnRNG(seed) % uint64(len(live)))
+			if err := a.Free(live[j]); err != nil {
+				t.Fatalf("storm free %#x: %v", live[j], err)
+			}
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+	}
+	for _, p := range live {
+		if err := a.Free(p); err != nil {
+			t.Fatalf("storm drain free %#x: %v", p, err)
+		}
+	}
+}
+
+// TestConstChurnFragmentationBound is the allocator half of the traffic
+// engine's churn story: after the first storm warms the per-size free
+// stacks, repeated seeded open/close storms must stop carving fresh address
+// space — Carved() converges to a bounded high-water mark instead of
+// marching down the arena — and the warm alloc/free pair must be
+// allocation-free, because the steady state is two O(1) list operations.
+func TestConstChurnFragmentationBound(t *testing.T) {
+	a, _ := newConst()
+	seed := uint64(0x5eed_c4a1)
+	const storms, flows, window = 12, 600, 96
+
+	churnStorm(t, a, &seed, flows, window)
+	warm := a.Carved()
+	if warm == 0 {
+		t.Fatal("first storm carved nothing — the storm is degenerate")
+	}
+	prev := warm
+	for s := 1; s < storms; s++ {
+		churnStorm(t, a, &seed, flows, window)
+		carved := a.Carved()
+		if carved < prev {
+			t.Fatalf("storm %d: Carved() went backwards (%d -> %d)", s, prev, carved)
+		}
+		if carved > 2*warm {
+			t.Fatalf("storm %d: carved %d pages, more than twice the warm high-water %d — free stacks are not feeding reuse",
+				s, carved, warm)
+		}
+		if s >= storms-3 && carved != prev {
+			t.Errorf("storm %d: still carving fresh space (%d -> %d pages) after convergence window",
+				s, prev, carved)
+		}
+		prev = carved
+	}
+	if a.Live() != 0 {
+		t.Fatalf("%d ranges leaked across storms", a.Live())
+	}
+
+	if n := testing.AllocsPerRun(200, func() {
+		p, err := a.Alloc(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Free(p); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("warm alloc/free pair allocates %.1f objects per op, want 0", n)
+	}
+}
+
+// TestLinuxChurnPathology runs the same storms through the Linux allocator:
+// it must stay correct (no leaks), but the red-black-tree walks that the
+// paper's Figure 2 blames for the long-term slowdown are visible —
+// MaxAllocVisits grows past a trivial depth because freed ranges are erased
+// and every allocation re-walks the tree for a gap.
+func TestLinuxChurnPathology(t *testing.T) {
+	a, _ := newLinux()
+	seed := uint64(0x5eed_c4a1)
+	for s := 0; s < 6; s++ {
+		churnStorm(t, a, &seed, 600, 96)
+	}
+	if a.Live() != 0 {
+		t.Fatalf("%d ranges leaked across storms", a.Live())
+	}
+	if a.MaxAllocVisits < 4 {
+		t.Errorf("MaxAllocVisits = %d; the storm never stressed the tree walk", a.MaxAllocVisits)
+	}
+}

@@ -32,6 +32,7 @@ type ConstAllocator struct {
 	freeBig   map[uint64][]*node        // rare sizes >= smallSizeClasses
 	arena     nodeArena
 	bump      uint64 // next fresh pfnHi (descending)
+	limit     uint64 // top of the arena, where bump started
 	live      int
 }
 
@@ -41,8 +42,15 @@ func NewConst(clk *cycles.Clock, model *cycles.Model, limit uint64) *ConstAlloca
 		clk:   clk,
 		model: model,
 		bump:  limit,
+		limit: limit,
 	}
 }
+
+// Carved is the address-space high-water mark: pages ever carved fresh
+// from the arena. A workload whose frees feed later allocations from the
+// size-class free stacks stops growing this — the fragmentation bound the
+// churn property test pins.
+func (a *ConstAllocator) Carved() uint64 { return a.limit - a.bump }
 
 // popRecycled pops the newest cached-free range of exactly `pages`, or nil.
 func (a *ConstAllocator) popRecycled(pages uint64) *node {

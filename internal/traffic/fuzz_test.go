@@ -1,0 +1,106 @@
+package traffic
+
+import (
+	"testing"
+
+	"riommu/internal/audit"
+	"riommu/internal/chaos"
+	"riommu/internal/device"
+	"riommu/internal/sim"
+)
+
+// fuzzSlots keeps the fuzz engine's connection table tiny so generated
+// inputs hammer the same slots and IOVAs from the free stack get reused.
+const fuzzSlots = 8
+
+// FuzzConnectionChurn interleaves traffic ticks, forced connection churn,
+// incast bursts, hostile replay of retired mappings, and deferred-queue
+// flushes, and holds every mode to its isolation contract against the audit
+// oracle: the strict-invalidation modes (strict, rIOMMU) must show zero
+// violations no matter the interleaving, while the deferred modes may show
+// only stale-translation hits — the §2.2 vulnerability window — bounded by
+// the attacker's attempt count, and none at all once the pending queue has
+// been flushed.
+func FuzzConnectionChurn(f *testing.F) {
+	f.Add(uint64(1), []byte{0, 1, 2, 3, 4})
+	f.Add(uint64(42), []byte{3, 3, 1, 0, 3, 4, 3})
+	f.Add(uint64(0xC0FFEE), []byte{6, 11, 3, 0, 2, 8, 13, 3, 4, 1})
+	f.Add(uint64(7), []byte{0})
+	f.Fuzz(func(t *testing.T, seed uint64, ops []byte) {
+		if len(ops) > 48 {
+			ops = ops[:48]
+		}
+		for _, mode := range []sim.Mode{sim.Strict, sim.RIOMMU, sim.Defer, sim.DeferPlus} {
+			e, err := NewEngine(Config{
+				Mode:            mode,
+				Profile:         device.ProfileMLX,
+				Seed:            seed,
+				TableSlots:      fuzzSlots,
+				MeanFlowPackets: 3,
+				BypassPermille:  250,
+				Ticks:           4,
+				MsgsPerTick:     3,
+				IncastEvery:     3,
+				IncastFan:       4,
+				Audit:           true,
+			})
+			if err != nil {
+				t.Fatalf("%s: NewEngine: %v", mode, err)
+			}
+			sys := e.System()
+			h := chaos.NewHostile(sys.Eng, sys.Auditor, BDF)
+			for _, op := range ops {
+				switch op % 5 {
+				case 0:
+					err = e.Tick()
+				case 1:
+					err = e.Churn(int(op/5) % fuzzSlots)
+				case 2:
+					err = e.Incast(4)
+				case 3:
+					h.ReplayRetired(2)
+				case 4:
+					err = e.FlushDeferred()
+				}
+				if err != nil {
+					t.Fatalf("%s: op %d: %v", mode, op%5, err)
+				}
+			}
+
+			orc := sys.Auditor
+			if mode.Safe() {
+				if orc.Violations != 0 {
+					t.Errorf("%s: %d violations (%v) in a gap-free mode under %d hostile attempts",
+						mode, orc.Violations, orc.ByReason, h.Stats.Attempts)
+				}
+			} else {
+				if n := orc.Violations - orc.ByReason[audit.ReasonStale]; n != 0 {
+					t.Errorf("%s: %d non-stale violations (%v): deferral only opens the stale window",
+						mode, n, orc.ByReason)
+				}
+				if orc.Violations > h.Stats.Attempts {
+					t.Errorf("%s: %d violations exceed the attacker's %d attempts",
+						mode, orc.Violations, h.Stats.Attempts)
+				}
+			}
+
+			// Once quiesced and flushed, the stale window is closed: another
+			// replay volley must be contained in every mode.
+			if err := e.Drain(); err != nil {
+				t.Fatalf("%s: drain: %v", mode, err)
+			}
+			if err := e.FlushDeferred(); err != nil {
+				t.Fatalf("%s: flush: %v", mode, err)
+			}
+			before := orc.Violations
+			h.ReplayRetired(4)
+			if orc.Violations != before {
+				t.Errorf("%s: replay landed %d violations after the pending queue was flushed",
+					mode, orc.Violations-before)
+			}
+			if err := e.Close(); err != nil {
+				t.Fatalf("%s: close: %v", mode, err)
+			}
+		}
+	})
+}

@@ -18,6 +18,7 @@ import (
 	"riommu/internal/campaign"
 	"riommu/internal/core"
 	"riommu/internal/cycles"
+	"riommu/internal/device"
 	"riommu/internal/dma"
 	"riommu/internal/iommu"
 	"riommu/internal/iotlb"
@@ -26,6 +27,7 @@ import (
 	"riommu/internal/pagetable"
 	"riommu/internal/pci"
 	"riommu/internal/sim"
+	"riommu/internal/traffic"
 
 	baselinedrv "riommu/internal/baseline"
 )
@@ -215,6 +217,35 @@ func BenchmarkCampaignCell(b *testing.B) {
 	}
 }
 
+// BenchmarkTrafficCell times one complete fleet-traffic churn cell — engine
+// construction, warmup and measured ticks over a mixed kernel/bypass
+// connection table, teardown — the unit the figS2 sweep and the campaign
+// -churn axis scale by.
+func BenchmarkTrafficCell(b *testing.B) {
+	cfg := traffic.Config{
+		Mode:            sim.RIOMMU,
+		Profile:         device.ProfileMLX,
+		Seed:            42,
+		TableSlots:      16,
+		MeanFlowPackets: 4,
+		BypassPermille:  250,
+		Ticks:           6,
+		WarmupTicks:     2,
+		MsgsPerTick:     4,
+		IncastEvery:     3,
+		IncastFan:       6,
+		Diurnal:         true,
+		Audit:           true,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := traffic.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // TestHotPathAllocs pins the steady-state translation hot paths at zero
 // allocations per operation: a regression here silently costs wall-clock
 // across every experiment, so it hard-fails CI (satellite 3, PR 4).
@@ -318,6 +349,47 @@ func TestHotPathAllocs(t *testing.T) {
 			}); n != 0 {
 				t.Errorf("%s IOVA alloc/free recycle allocates %.1f objects per op, want 0", tc.name, n)
 			}
+		}
+	})
+
+	t.Run("iova-churn-storm", func(t *testing.T) {
+		// Connection-churn shape: a window of live heavy-tailed ranges with
+		// interleaved opens and closes, not a single ping-ponged size. Once
+		// one storm has warmed the per-size free stacks, the constant-time
+		// allocator's steady state must stay allocation-free.
+		clk := &cycles.Clock{}
+		model := cycles.DefaultModel()
+		alloc := iova.NewConst(clk, &model, iova.DMA32PFN-1)
+		rng := uint64(0x5eed)
+		next := func() uint64 {
+			rng += 0x9E3779B97F4A7C15
+			z := rng
+			z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+			z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+			return z ^ (z >> 31)
+		}
+		const window = 64
+		live := make([]uint64, 0, window)
+		step := func() {
+			p, err := alloc.Alloc(1 + next()%4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, p)
+			if len(live) >= window {
+				j := int(next() % uint64(len(live)))
+				if err := alloc.Free(live[j]); err != nil {
+					t.Fatal(err)
+				}
+				live[j] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+		}
+		for i := 0; i < 4*window; i++ {
+			step() // warm storm: carve the working set, size the stacks
+		}
+		if n := testing.AllocsPerRun(200, step); n != 0 {
+			t.Errorf("warm churn-storm step allocates %.1f objects per op, want 0", n)
 		}
 	})
 }
